@@ -1,0 +1,50 @@
+//! The table/figure regeneration harness, exposed as a `cargo bench`
+//! target: one "bench" per table and figure of the paper's evaluation.
+//! Each prints the same rows/series as `cebinae-experiments <name>` and
+//! reports its wall-clock time.
+//!
+//! Scaled durations by default; `CEBINAE_FULL=1` switches to the paper's
+//! 100-second runs and 100-trial Figure 13 sweeps. Filter with
+//! `CEBINAE_BENCH_ONLY=fig7,table3`.
+
+use cebinae_harness::{run_experiment, Ctx, EXPERIMENTS};
+
+fn main() {
+    let ctx = Ctx::from_env();
+    let only: Option<Vec<String>> = std::env::var("CEBINAE_BENCH_ONLY")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    // `cargo bench` passes `--bench` and possibly filter strings; accept a
+    // filter as a name prefix like the standard harness.
+    let cli_filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+
+    let mut total = std::time::Duration::ZERO;
+    for name in EXPERIMENTS {
+        if let Some(only) = &only {
+            if !only.iter().any(|o| o == name) {
+                continue;
+            }
+        }
+        if !cli_filter.is_empty() && !cli_filter.iter().any(|f| name.contains(f.as_str())) {
+            continue;
+        }
+        println!("==== bench {name} ({}) ====", if ctx.full { "full" } else { "scaled" });
+        let t0 = std::time::Instant::now();
+        match run_experiment(name, &ctx, None) {
+            Ok(out) => {
+                println!("{out}");
+                let dt = t0.elapsed();
+                total += dt;
+                println!("bench {name}: {:.1}s", dt.as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("bench {name} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("total experiment-bench time: {:.1}s", total.as_secs_f64());
+}

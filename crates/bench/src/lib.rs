@@ -1,0 +1,15 @@
+//! # cebinae-bench
+//!
+//! Benchmark support crate. The actual targets live in `benches/`:
+//!
+//! * `micro` — Criterion micro-benchmarks of the hot data structures
+//!   (event queue, FIFO, LBF classify, heavy-hitter cache, FQ-CoDel, AFQ,
+//!   water-filling) and whole small simulations per discipline;
+//! * `experiments` — the table/figure regeneration harness: one bench
+//!   "target" per table and figure of the paper, producing the same rows
+//!   and series as `cebinae-experiments` (scaled durations; set
+//!   `CEBINAE_FULL=1` for paper-scale runs).
+
+/// Workload sizes shared by the micro benches.
+pub const CACHE_FLOWS: u32 = 10_000;
+pub const QDISC_PACKETS: usize = 10_000;

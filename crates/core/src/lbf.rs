@@ -1,0 +1,376 @@
+//! The approximated leaky-bucket filter data plane (paper Figure 5).
+//!
+//! Cebinae enforces per-group rates with a two-entry calendar: the packet's
+//! group (⊤ or ⊥ — or the port aggregate while unsaturated) accumulates a
+//! `bytes` counter; a packet whose counter fits in the current physical
+//! round goes to `headq`, one that fits in the next round goes to `¬headq`
+//! (optionally ECN-marked), and anything beyond is dropped. A *virtual
+//! round* of duration `vdT` paces each group inside the physical round: on
+//! each virtual-round advance the group's counter is clamped up to the pace
+//! line (`aggregate_size`), expiring unused credit so idle groups cannot
+//! save up a full round's allocation and burst it at the round boundary.
+
+use cebinae_sim::{Duration, Time};
+
+/// The shared per-port round clock of Figure 5 (`round_time`,
+/// `base_round_time`) with power-of-two quantization.
+#[derive(Clone, Debug)]
+pub struct RoundClock {
+    pub dt: Duration,
+    pub vdt: Duration,
+    /// Start of the current physical round (advances by dT at ROTATE).
+    base_round_time: Time,
+    /// Current virtual-round boundary (aligned down to vdT).
+    round_time: Time,
+}
+
+impl RoundClock {
+    /// Create a clock whose first round starts at `start` aligned down to
+    /// `dt` (the paper bootstraps the time origin from the first ROTATE
+    /// packet; alignment gives the same effect deterministically).
+    pub fn new(dt: Duration, vdt: Duration, start: Time) -> RoundClock {
+        debug_assert!(vdt < dt);
+        let base = start.align_down(dt);
+        RoundClock {
+            dt,
+            vdt,
+            base_round_time: base,
+            round_time: base,
+        }
+    }
+
+    /// Advance the virtual round if `now` has crossed a vdT boundary
+    /// (Figure 5 line 14-15).
+    pub fn observe(&mut self, now: Time) {
+        if now >= self.round_time + self.vdt {
+            self.round_time = now.align_down(self.vdt);
+        }
+    }
+
+    /// ROTATE: the physical round advances (Figure 5 line 11).
+    pub fn rotate(&mut self) {
+        self.base_round_time += self.dt;
+        if self.round_time < self.base_round_time {
+            self.round_time = self.base_round_time;
+        }
+    }
+
+    /// Virtual rounds elapsed since the physical round began
+    /// (`relative_round` in Figure 5).
+    pub fn relative_round(&self) -> u64 {
+        self.round_time.saturating_since(self.base_round_time) / self.vdt
+    }
+
+    /// Virtual rounds per physical round.
+    pub fn rounds_per_dt(&self) -> u64 {
+        self.dt / self.vdt
+    }
+
+    pub fn base_round_time(&self) -> Time {
+        self.base_round_time
+    }
+
+    /// Absolute time of the next ROTATE.
+    pub fn next_rotation(&self) -> Time {
+        self.base_round_time + self.dt
+    }
+}
+
+/// Verdict for a packet offered to a group's filter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LbfVerdict {
+    /// Fits in the current round: enqueue in `headq`.
+    Head,
+    /// Fits in the next round: enqueue in `¬headq` (delayed; ECN-markable).
+    Tail,
+    /// Past both rounds: drop.
+    Drop,
+}
+
+/// Per-flow-group filter state: the `bytes[f]` counter and the two
+/// per-physical-queue rates of Figure 5.
+#[derive(Clone, Debug)]
+pub struct GroupLbf {
+    /// Bytes charged to this group in the current round era.
+    bytes: f64,
+    /// Rate (bytes/sec) attached to each physical queue. Indexed by the
+    /// physical queue id (0/1), not by head/tail role.
+    rate: [f64; 2],
+    /// Latest CP-configured rate (bytes/sec). Installed on each queue as it
+    /// retires (§4.3: "rates can only change when it is the fully drained
+    /// headq"), so both queues converge to the newest rate within two
+    /// rotations while no active round's rate ever changes mid-round.
+    pending_rate: Option<f64>,
+}
+
+impl GroupLbf {
+    /// A group whose both-round rates start at `rate_bps` (bits/sec).
+    pub fn new(rate_bps: f64) -> GroupLbf {
+        let bytes_per_sec = rate_bps / 8.0;
+        GroupLbf {
+            bytes: 0.0,
+            rate: [bytes_per_sec; 2],
+            pending_rate: None,
+        }
+    }
+
+    /// Classify a packet of `size` bytes arriving now; `headq` is the
+    /// current physical head-queue index. Implements Figure 5 lines 14-33
+    /// (minus the enqueue itself).
+    ///
+    /// The `bytes` counter is charged only for *admitted* packets (the
+    /// virtual-round clamp always commits). Figure 5's pseudocode charges
+    /// before the verdict, but charging drops lets a loss-ignoring sender
+    /// (e.g. BBR) accumulate unbounded filter debt and blackhole the port
+    /// permanently — a death spiral no leaky bucket should have. Admitted-
+    /// only charging preserves the enforcement property (sustained
+    /// admission = rate·dT per round) while keeping the filter stable
+    /// under persistent overload.
+    pub fn classify(&mut self, size: u32, clock: &RoundClock, headq: usize) -> LbfVerdict {
+        let rate_head = self.rate[headq];
+        let rate_tail = self.rate[1 - headq];
+        let dt_s = clock.dt.as_secs_f64();
+        let vdt_s = clock.vdt.as_secs_f64();
+        let rel = clock.relative_round();
+        let per_dt = clock.rounds_per_dt();
+
+        // Pace line: how many bytes the group was *allowed* to have sent by
+        // this virtual round (Figure 5 lines 17-22).
+        let aggregate_size = if rel < per_dt {
+            rate_head * rel as f64 * vdt_s
+        } else {
+            // Late-rotation robustness branch: we are already inside the
+            // next round's time span.
+            rate_head * dt_s + (rel - per_dt) as f64 * vdt_s * rate_tail
+        };
+
+        let charged = self.bytes.max(aggregate_size) + size as f64;
+        let past_head = charged - rate_head * dt_s;
+        let past_tail = past_head - rate_tail * dt_s;
+        if past_head <= 0.0 {
+            self.bytes = charged;
+            LbfVerdict::Head
+        } else if past_tail <= 0.0 {
+            self.bytes = charged;
+            LbfVerdict::Tail
+        } else {
+            // Drop: commit only the clamp, not the dropped packet's bytes.
+            self.bytes = self.bytes.max(aggregate_size);
+            LbfVerdict::Drop
+        }
+    }
+
+    /// ROTATE for this group (Figure 5 lines 8-12): retire the round served
+    /// by physical queue `retiring` (the old headq), crediting back one
+    /// round of its rate, and install any pending CP rate on that queue
+    /// (which now becomes the future queue).
+    pub fn on_rotate(&mut self, retiring: usize, dt: Duration) {
+        self.bytes = (self.bytes - self.rate[retiring] * dt.as_secs_f64()).max(0.0);
+        if let Some(r) = self.pending_rate {
+            self.rate[retiring] = r;
+        }
+    }
+
+    /// CP write: install `rate_bps` (bits/sec) on the next retiring queue.
+    pub fn set_pending_rate(&mut self, rate_bps: f64) {
+        self.pending_rate = Some(rate_bps / 8.0);
+    }
+
+    /// Phase-change initialization: set both queues' rates immediately and
+    /// (optionally) seed the bytes counter (§4.3 "Supporting phase
+    /// changes").
+    pub fn reset_for_phase(&mut self, rate_bps: f64, bytes: f64) {
+        let b = rate_bps / 8.0;
+        self.rate = [b; 2];
+        self.pending_rate = None;
+        self.bytes = bytes.max(0.0);
+    }
+
+    pub fn bytes(&self) -> f64 {
+        self.bytes
+    }
+
+    /// Current rate (bytes/sec) of the given physical queue.
+    pub fn rate_of(&self, queue: usize) -> f64 {
+        self.rate[queue]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock_ms(dt_ms_pow2: u64, vdt_us_pow2: u64) -> RoundClock {
+        RoundClock::new(Duration(dt_ms_pow2), Duration(vdt_us_pow2), Time::ZERO)
+    }
+
+    /// dT = 2^23 ns (~8.4ms), vdT = 2^17 ns (~131us).
+    fn default_clock() -> RoundClock {
+        clock_ms(1 << 23, 1 << 17)
+    }
+
+    #[test]
+    fn round_clock_advances_and_rotates() {
+        let mut c = default_clock();
+        assert_eq!(c.relative_round(), 0);
+        c.observe(Time(3 << 17));
+        assert_eq!(c.relative_round(), 3);
+        c.rotate();
+        assert_eq!(c.base_round_time(), Time(1 << 23));
+        // round_time snaps forward to the new base.
+        assert_eq!(c.relative_round(), 0);
+        assert_eq!(c.next_rotation(), Time(2 << 23));
+    }
+
+    #[test]
+    fn rounds_per_dt() {
+        let c = default_clock();
+        assert_eq!(c.rounds_per_dt(), 1 << 6);
+    }
+
+    #[test]
+    fn within_rate_goes_to_head() {
+        let mut c = default_clock();
+        // 100 Mbps group: dT(8.39ms) allows ~104857 bytes/round.
+        let mut g = GroupLbf::new(100e6);
+        let allowed = (100e6 / 8.0 * c.dt.as_secs_f64()) as u64;
+        let mut sent = 0u64;
+        let mut verdicts = Vec::new();
+        // Send exactly at the pace: advance the clock alongside.
+        let pkts = allowed / 1500;
+        for i in 0..pkts {
+            let t = Time((c.dt.as_nanos() * i) / pkts);
+            c.observe(t);
+            verdicts.push(g.classify(1500, &c, 0));
+            sent += 1500;
+        }
+        assert!(sent <= allowed);
+        assert!(
+            verdicts.iter().all(|v| *v == LbfVerdict::Head),
+            "paced traffic within rate must all go to headq"
+        );
+    }
+
+    #[test]
+    fn overflow_goes_to_tail_then_drop() {
+        let c = default_clock();
+        let mut g = GroupLbf::new(100e6);
+        let per_round = 100e6 / 8.0 * c.dt.as_secs_f64();
+        // Burst 2.5 rounds of bytes instantaneously at t=0.
+        let n = (2.5 * per_round / 1500.0) as usize;
+        let mut heads = 0;
+        let mut tails = 0;
+        let mut drops = 0;
+        for _ in 0..n {
+            match g.classify(1500, &c, 0) {
+                LbfVerdict::Head => heads += 1,
+                LbfVerdict::Tail => tails += 1,
+                LbfVerdict::Drop => drops += 1,
+            }
+        }
+        let round_pkts = per_round / 1500.0;
+        assert!((heads as f64 - round_pkts).abs() <= 2.0, "heads {heads}");
+        assert!((tails as f64 - round_pkts).abs() <= 2.0, "tails {tails}");
+        assert!(drops > 0);
+    }
+
+    #[test]
+    fn virtual_pacing_expires_unused_credit() {
+        let mut c = default_clock();
+        let mut g = GroupLbf::new(100e6);
+        // Idle for most of the round, then burst at the last virtual round:
+        // the clamp must have raised `bytes` so the burst cannot claim the
+        // whole round's allocation into headq.
+        let last_vrounds = c.rounds_per_dt() - 1;
+        c.observe(Time(last_vrounds << 17));
+        let mut heads = 0;
+        let per_round_pkts = (100e6 / 8.0 * c.dt.as_secs_f64() / 1500.0) as usize;
+        for _ in 0..per_round_pkts {
+            if g.classify(1500, &c, 0) == LbfVerdict::Head {
+                heads += 1;
+            }
+        }
+        // Only ~1 virtual round of catch-up is allowed into headq.
+        let vdt_pkts = (100e6 / 8.0 * c.vdt.as_secs_f64() / 1500.0).ceil() as usize;
+        assert!(
+            heads <= vdt_pkts + 1,
+            "burst after idling got {heads} > {} head slots",
+            vdt_pkts + 1
+        );
+    }
+
+    #[test]
+    fn rotate_restores_one_round_of_credit() {
+        let mut c = default_clock();
+        let mut g = GroupLbf::new(100e6);
+        let per_round = 100e6 / 8.0 * c.dt.as_secs_f64();
+        // Fill two rounds worth.
+        let n = (2.0 * per_round / 1500.0) as usize;
+        for _ in 0..n {
+            let _ = g.classify(1500, &c, 0);
+        }
+        assert_eq!(g.classify(1500, &c, 0), LbfVerdict::Drop);
+        // After one rotation the tail round's bytes become current and one
+        // round of new capacity opens up.
+        g.on_rotate(0, c.dt);
+        c.rotate();
+        assert_ne!(g.classify(1500, &c, 1), LbfVerdict::Drop);
+    }
+
+    #[test]
+    fn pending_rate_applies_only_at_rotation() {
+        let c = default_clock();
+        let mut g = GroupLbf::new(100e6);
+        g.set_pending_rate(10e6);
+        assert_eq!(g.rate_of(0), 100e6 / 8.0, "rate unchanged before rotate");
+        assert_eq!(g.rate_of(1), 100e6 / 8.0);
+        g.on_rotate(0, c.dt);
+        assert_eq!(g.rate_of(0), 10e6 / 8.0, "retiring queue got the new rate");
+        assert_eq!(g.rate_of(1), 100e6 / 8.0, "active round keeps its rate");
+        // The CP rate is sticky: the other queue converges at its own
+        // retirement.
+        g.on_rotate(1, c.dt);
+        assert_eq!(g.rate_of(1), 10e6 / 8.0, "second queue converges too");
+    }
+
+    #[test]
+    fn heterogeneous_round_rates_integrate() {
+        // After a rate change, head and tail rounds have different rates and
+        // the filter integrates both (Figure 5 lines 17-22).
+        let c = default_clock();
+        let mut g = GroupLbf::new(100e6);
+        g.set_pending_rate(50e6);
+        g.on_rotate(0, c.dt); // queue 0 now carries 50 Mbps for its round
+        // headq is queue 1 (100 Mbps), tail is queue 0 (50 Mbps).
+        let head_bytes = 100e6 / 8.0 * c.dt.as_secs_f64();
+        let tail_bytes = 50e6 / 8.0 * c.dt.as_secs_f64();
+        let mut heads = 0;
+        let mut tails = 0;
+        let total = ((head_bytes + tail_bytes) / 1500.0) as usize + 10;
+        for _ in 0..total {
+            match g.classify(1500, &c, 1) {
+                LbfVerdict::Head => heads += 1,
+                LbfVerdict::Tail => tails += 1,
+                LbfVerdict::Drop => {}
+            }
+        }
+        assert!((heads as f64 * 1500.0 - head_bytes).abs() < 3000.0);
+        assert!((tails as f64 * 1500.0 - tail_bytes).abs() < 3000.0);
+    }
+
+    #[test]
+    fn reset_for_phase_seeds_bytes() {
+        let mut g = GroupLbf::new(100e6);
+        g.reset_for_phase(10e6, 12345.0);
+        assert_eq!(g.bytes(), 12345.0);
+        assert_eq!(g.rate_of(0), 10e6 / 8.0);
+        assert_eq!(g.rate_of(1), 10e6 / 8.0);
+    }
+
+    #[test]
+    fn zero_rate_group_sends_nothing_to_head() {
+        let c = default_clock();
+        let mut g = GroupLbf::new(0.0);
+        assert_eq!(g.classify(1500, &c, 0), LbfVerdict::Drop);
+    }
+}

@@ -1,0 +1,44 @@
+use cebinae_engine::*;
+use cebinae_metrics::jfi;
+use cebinae_sim::{Duration, Time};
+use cebinae_transport::CcKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scenario = args.get(1).map(String::as_str).unwrap_or("fig7");
+    let secs: u64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(20);
+    let (flows, rate, buf): (Vec<DumbbellFlow>, u64, u64) = match scenario {
+        "fig7" => {
+            let mut f: Vec<_> = (0..16).map(|_| DumbbellFlow::new(CcKind::Vegas, 50)).collect();
+            f.push(DumbbellFlow::new(CcKind::NewReno, 50));
+            (f, 100_000_000, 420)
+        }
+        "fig1" => (
+            vec![DumbbellFlow::new(CcKind::NewReno, 20), DumbbellFlow::new(CcKind::NewReno, 40)],
+            100_000_000, 350,
+        ),
+        "rtt" => (
+            vec![DumbbellFlow::new(CcKind::Cubic, 16), DumbbellFlow::new(CcKind::Cubic, 256)],
+            100_000_000, 850,
+        ),
+        _ => panic!("unknown scenario"),
+    };
+    for d in [Discipline::Fifo, Discipline::FqCoDel, Discipline::Cebinae] {
+        let mut p = ScenarioParams::new(rate, buf, d);
+        p.duration = Duration::from_secs(secs);
+        let (cfg, bneck) = dumbbell(&flows, &p);
+        let t0 = std::time::Instant::now();
+        let r = Simulation::new(cfg).run();
+        let g = r.goodputs_bps(Time::from_secs(2));
+        let tput = r.link_throughput_bps(bneck, Time::from_secs(2));
+        println!(
+            "{:10} tput {:6.2} Mbps  goodput {:6.2} Mbps  JFI {:.3}  [{:.1}s wall, {} ev]  g={:?}",
+            d.label(), tput / 1e6,
+            g.iter().sum::<f64>() / 1e6,
+            jfi(&g),
+            t0.elapsed().as_secs_f64(),
+            r.events_processed,
+            g.iter().map(|x| (x / 1e6 * 10.0).round() / 10.0).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,20 @@
+use cebinae_engine::*;
+use cebinae_sim::{Duration, Time};
+use cebinae_transport::CcKind;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(1);
+    let cc: CcKind = std::env::args().nth(2).map(|s| s.parse().unwrap()).unwrap_or(CcKind::Cubic);
+    let flows: Vec<_> = (0..n).map(|_| DumbbellFlow::new(cc, 20)).collect();
+    let mut p = ScenarioParams::new(100_000_000, 350, Discipline::Fifo);
+    p.duration = Duration::from_secs(20);
+    let (cfg, bneck) = dumbbell(&flows, &p);
+    let r = Simulation::new(cfg).run();
+    let g = r.goodputs_bps(Time::from_secs(2));
+    println!("tput {:.1} good {:.1} jfi {:.3}", r.link_throughput_bps(bneck, Time::from_secs(2))/1e6, g.iter().sum::<f64>()/1e6, cebinae_metrics::jfi(&g));
+    let s = r.link_stats[bneck.index()];
+    println!("bneck enq {} tx {} drop {}", s.enq_pkts, s.tx_pkts, s.drop_pkts);
+    let mut retx = 0; let mut rto = 0; let mut rx = 0; let mut dup = 0;
+    for d in &r.flow_debug { retx += d.retx_count; rto += d.rto_count; rx += d.rx_pkts; dup += d.dup_pkts; }
+    println!("total retx {} rto {} rx {} dup {} (dup/rx = {:.1}%)", retx, rto, rx, dup, dup as f64 / rx as f64 * 100.0);
+}

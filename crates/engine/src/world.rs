@@ -1,0 +1,607 @@
+//! The whole-network simulator: an event loop over links, queueing
+//! disciplines, and TCP endpoints.
+//!
+//! Structure mirrors the paper's ns-3 setup: hosts run TCP stacks with
+//! pluggable CCAs; switch egress ports run a queueing discipline (FIFO,
+//! FQ-CoDel, AFQ, or Cebinae) attached traffic-control style; links model
+//! serialization + propagation. Everything is arena-indexed and driven by
+//! one deterministic event queue.
+
+use std::collections::HashMap;
+
+use cebinae::{CebinaeConfig, CebinaeQdisc};
+use cebinae_fq::{AfqConfig, AfqQdisc, FqCoDelConfig, FqCoDelQdisc};
+use cebinae_metrics::GoodputSeries;
+use cebinae_net::{
+    BufferConfig, FifoQdisc, FlowId, LinkId, NodeId, Packet, PacketKind, PacketTrace, Qdisc,
+    QdiscStats, TraceEvent, TraceRecord, Topology,
+};
+use cebinae_sim::{tx_time, Duration, EventQueue, Time};
+use cebinae_transport::{TcpConfig, TcpOutput, TcpReceiver, TcpSender, TimerAction};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Which discipline to install on a link.
+#[derive(Clone, Debug)]
+pub enum QdiscSpec {
+    Fifo { buffer: BufferConfig },
+    FqCoDel(FqCoDelConfig),
+    Afq(AfqConfig),
+    Cebinae(CebinaeConfig),
+}
+
+impl QdiscSpec {
+    fn build(&self, rate_bps: u64, seed: u64) -> Box<dyn Qdisc> {
+        match self {
+            QdiscSpec::Fifo { buffer } => Box::new(FifoQdisc::new(*buffer)),
+            QdiscSpec::FqCoDel(cfg) => Box::new(FqCoDelQdisc::new(cfg.clone())),
+            QdiscSpec::Afq(cfg) => Box::new(AfqQdisc::new(*cfg)),
+            QdiscSpec::Cebinae(cfg) => Box::new(CebinaeQdisc::new(cfg.clone(), rate_bps, seed)),
+        }
+    }
+}
+
+/// One flow to simulate.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub tcp: TcpConfig,
+    pub start: Time,
+}
+
+/// Complete simulation description.
+pub struct SimConfig {
+    pub topology: Topology,
+    pub flows: Vec<FlowSpec>,
+    /// Qdisc per link; links not present default to a large FIFO.
+    pub qdiscs: HashMap<LinkId, QdiscSpec>,
+    /// Links whose state/throughput should be sampled (the bottlenecks).
+    pub monitored_links: Vec<LinkId>,
+    pub duration: Duration,
+    pub sample_interval: Duration,
+    /// Random drop probability per hop (fault injection); 0 disables.
+    pub fault_drop: f64,
+    pub seed: u64,
+    /// Links to record a packet trace for (smoltcp-pcap style); empty
+    /// disables tracing.
+    pub traced_links: Vec<LinkId>,
+    /// Maximum records retained per run.
+    pub trace_capacity: usize,
+}
+
+impl SimConfig {
+    pub fn new(topology: Topology, flows: Vec<FlowSpec>) -> SimConfig {
+        SimConfig {
+            topology,
+            flows,
+            qdiscs: HashMap::new(),
+            monitored_links: Vec::new(),
+            duration: Duration::from_secs(10),
+            sample_interval: Duration::from_millis(100),
+            fault_drop: 0.0,
+            seed: 0,
+            traced_links: Vec::new(),
+            trace_capacity: 100_000,
+        }
+    }
+}
+
+/// Default buffer for unmanaged (access/reverse) links: large enough to
+/// never be the bottleneck.
+fn default_fifo() -> QdiscSpec {
+    QdiscSpec::Fifo {
+        buffer: BufferConfig::mtus(4096),
+    }
+}
+
+enum Ev {
+    /// Packet finished propagating over `link`.
+    Arrive { link: LinkId, pkt: Packet },
+    /// Link finished serializing; pull the next packet.
+    TxDone { link: LinkId },
+    /// Qdisc control-plane event (Cebinae rotations).
+    QdiscControl { link: LinkId },
+    FlowStart { flow: FlowId },
+    Rto { flow: FlowId },
+    Pace { flow: FlowId, at: Time },
+    Sample,
+}
+
+struct LinkRt {
+    qdisc: Box<dyn Qdisc>,
+    busy: bool,
+    rate_bps: u64,
+    delay: Duration,
+}
+
+struct FlowRt {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    fwd_path: Vec<LinkId>,
+    rev_path: Vec<LinkId>,
+    start: Time,
+    /// First instant at which all application data was acknowledged.
+    completed_at: Option<Time>,
+    /// Current RTO deadline; events that fire early re-arm themselves.
+    rto_deadline: Option<Time>,
+    /// Earliest scheduled RTO event (to avoid flooding the queue).
+    rto_scheduled: Option<Time>,
+    pace_scheduled: Option<Time>,
+}
+
+/// Per-flow diagnostic snapshot at simulation end.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowDebug {
+    pub cwnd: u64,
+    pub flight: u64,
+    pub in_recovery: bool,
+    pub retx_count: u64,
+    pub rto_count: u64,
+    pub srtt_ms: f64,
+    pub rx_pkts: u64,
+    pub dup_pkts: u64,
+}
+
+/// Sampled Cebinae control state of one monitored link.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CebinaeSample {
+    pub saturated: bool,
+    pub top_rate_bps: f64,
+    pub bottom_rate_bps: f64,
+    pub top_flows: usize,
+    pub lbf_drops: u64,
+    pub delayed_pkts: u64,
+}
+
+/// Results of one simulation run.
+pub struct SimResult {
+    /// Per-flow in-order delivered bytes, sampled on the configured
+    /// interval.
+    pub goodput: GoodputSeries,
+    /// Per-monitored-link cumulative tx bytes at each sample instant.
+    pub link_tx_series: Vec<(Time, Vec<u64>)>,
+    /// Cebinae saturation state per monitored link at each sample (false
+    /// for non-Cebinae qdiscs) — Figure 1's background series.
+    pub saturated_series: Vec<(Time, Vec<bool>)>,
+    /// Full Cebinae control-state samples per monitored link (zeroed for
+    /// non-Cebinae qdiscs).
+    pub cebinae_series: Vec<(Time, Vec<CebinaeSample>)>,
+    /// Final per-flow delivered bytes (receiver side).
+    pub delivered: Vec<u64>,
+    pub flow_starts: Vec<Time>,
+    /// Completion time per flow (finite-demand flows only; `None` if the
+    /// flow had unlimited demand or did not finish within the run).
+    pub completed_at: Vec<Option<Time>>,
+    /// Final stats of every link's qdisc.
+    pub link_stats: Vec<QdiscStats>,
+    pub monitored_links: Vec<LinkId>,
+    pub duration: Duration,
+    pub events_processed: u64,
+    pub flow_debug: Vec<FlowDebug>,
+    /// Packet trace of the configured `traced_links` (empty otherwise).
+    pub trace: PacketTrace,
+}
+
+impl SimResult {
+    /// Average goodput (bits/sec) per flow over `[warmup, duration]`.
+    pub fn goodputs_bps(&self, warmup: Time) -> Vec<f64> {
+        self.goodput
+            .average_rates(warmup)
+            .into_iter()
+            .map(|b| b * 8.0)
+            .collect()
+    }
+
+    /// Average throughput (bits/sec) of a monitored link over
+    /// `[warmup, duration]`.
+    pub fn link_throughput_bps(&self, link: LinkId, warmup: Time) -> f64 {
+        let idx = self
+            .monitored_links
+            .iter()
+            .position(|&l| l == link)
+            .expect("link not monitored");
+        let first = self
+            .link_tx_series
+            .iter()
+            .find(|(t, _)| *t >= warmup)
+            .or_else(|| self.link_tx_series.first());
+        let (Some((t0, a)), Some((t1, b))) = (first, self.link_tx_series.last()) else {
+            return 0.0;
+        };
+        let dt = t1.saturating_since(*t0).as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        (b[idx] - a[idx]) as f64 * 8.0 / dt
+    }
+}
+
+/// The simulator.
+pub struct Simulation {
+    links: Vec<LinkRt>,
+    flows: Vec<FlowRt>,
+    events: EventQueue<Ev>,
+    cfg_duration: Duration,
+    sample_interval: Duration,
+    fault_drop: f64,
+    rng: SmallRng,
+    monitored: Vec<LinkId>,
+    traced_links: Vec<LinkId>,
+    trace: PacketTrace,
+    goodput: GoodputSeries,
+    link_tx_series: Vec<(Time, Vec<u64>)>,
+    saturated_series: Vec<(Time, Vec<bool>)>,
+    cebinae_series: Vec<(Time, Vec<CebinaeSample>)>,
+    events_processed: u64,
+}
+
+impl Simulation {
+    pub fn new(cfg: SimConfig) -> Simulation {
+        let SimConfig {
+            topology,
+            flows,
+            qdiscs,
+            monitored_links,
+            duration,
+            sample_interval,
+            fault_drop,
+            seed,
+            traced_links,
+            trace_capacity,
+        } = cfg;
+
+        let links: Vec<LinkRt> = topology
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let qspec = qdiscs.get(&LinkId::from(i)).cloned().unwrap_or_else(default_fifo);
+                LinkRt {
+                    qdisc: qspec.build(spec.rate_bps, seed ^ (i as u64) << 8),
+                    busy: false,
+                    rate_bps: spec.rate_bps,
+                    delay: spec.delay,
+                }
+            })
+            .collect();
+
+        let mut events = EventQueue::new();
+        let mut flow_rts = Vec::with_capacity(flows.len());
+        for (i, f) in flows.iter().enumerate() {
+            let id = FlowId::from(i);
+            let fwd = topology
+                .shortest_path(f.src, f.dst)
+                .unwrap_or_else(|| panic!("no path {} -> {}", f.src, f.dst));
+            let rev = topology
+                .shortest_path(f.dst, f.src)
+                .unwrap_or_else(|| panic!("no path {} -> {}", f.dst, f.src));
+            assert!(!fwd.is_empty(), "src and dst must differ");
+            events.schedule(f.start, Ev::FlowStart { flow: id });
+            flow_rts.push(FlowRt {
+                sender: TcpSender::new(id, f.tcp.clone()),
+                receiver: TcpReceiver::new(id),
+                fwd_path: fwd,
+                rev_path: rev,
+                start: f.start,
+                completed_at: None,
+                rto_deadline: None,
+                rto_scheduled: None,
+                pace_scheduled: None,
+            });
+        }
+
+        let flow_ids: Vec<FlowId> = (0..flow_rts.len()).map(FlowId::from).collect();
+        let goodput = GoodputSeries::new(flow_ids, sample_interval);
+
+        let mut sim = Simulation {
+            links,
+            flows: flow_rts,
+            events,
+            cfg_duration: duration,
+            sample_interval,
+            fault_drop,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5eed),
+            monitored: monitored_links,
+            trace: PacketTrace::with_capacity(trace_capacity),
+            traced_links,
+            goodput,
+            link_tx_series: Vec::new(),
+            saturated_series: Vec::new(),
+            cebinae_series: Vec::new(),
+            events_processed: 0,
+        };
+
+        // Activate qdiscs and schedule their control events.
+        for i in 0..sim.links.len() {
+            if let Some(t) = sim.links[i].qdisc.activate(Time::ZERO) {
+                sim.events.schedule(t, Ev::QdiscControl { link: LinkId::from(i) });
+            }
+        }
+        sim.events.schedule(Time::ZERO, Ev::Sample);
+        sim
+    }
+
+    /// Run to completion and return the results.
+    pub fn run(mut self) -> SimResult {
+        let end = Time::ZERO + self.cfg_duration;
+        while let Some(t) = self.events.peek_time() {
+            if t > end {
+                break;
+            }
+            let (now, ev) = self.events.pop().expect("peeked");
+            self.events_processed += 1;
+            self.dispatch(now, ev);
+        }
+        // Final sample at the end time for complete series.
+        self.take_sample(end);
+        SimResult {
+            flow_debug: self
+                .flows
+                .iter()
+                .map(|f| FlowDebug {
+                    cwnd: f.sender.cwnd(),
+                    flight: f.sender.flight(),
+                    in_recovery: f.sender.in_recovery(),
+                    retx_count: f.sender.retx_count,
+                    rto_count: f.sender.rto_count,
+                    srtt_ms: f.sender.srtt().map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0),
+                    rx_pkts: f.receiver.rx_pkts,
+                    dup_pkts: f.receiver.dup_pkts,
+                })
+                .collect(),
+            delivered: self.flows.iter().map(|f| f.receiver.delivered()).collect(),
+            flow_starts: self.flows.iter().map(|f| f.start).collect(),
+            completed_at: self.flows.iter().map(|f| f.completed_at).collect(),
+            link_stats: self.links.iter().map(|l| l.qdisc.stats()).collect(),
+            goodput: self.goodput,
+            link_tx_series: self.link_tx_series,
+            saturated_series: self.saturated_series,
+            cebinae_series: self.cebinae_series,
+            monitored_links: self.monitored,
+            duration: self.cfg_duration,
+            events_processed: self.events_processed,
+            trace: self.trace,
+        }
+    }
+
+    fn dispatch(&mut self, now: Time, ev: Ev) {
+        match ev {
+            Ev::Arrive { link, pkt } => self.on_arrive(now, link, pkt),
+            Ev::TxDone { link } => self.on_tx_done(now, link),
+            Ev::QdiscControl { link } => {
+                if let Some(next) = self.links[link.index()].qdisc.control(now) {
+                    self.events.schedule(next, Ev::QdiscControl { link });
+                }
+                // A control event may have made packets schedulable; kick
+                // the link if it idles with a backlog.
+                self.kick(now, link);
+            }
+            Ev::FlowStart { flow } => {
+                let out = self.flows[flow.index()].sender.start(now);
+                self.apply_output(now, flow, out);
+            }
+            Ev::Rto { flow } => self.on_rto_event(now, flow),
+            Ev::Pace { flow, at } => {
+                let f = &mut self.flows[flow.index()];
+                if f.pace_scheduled == Some(at) {
+                    f.pace_scheduled = None;
+                    let out = f.sender.on_pace_timer(now);
+                    self.apply_output(now, flow, out);
+                }
+            }
+            Ev::Sample => {
+                self.take_sample(now);
+                let next = now + self.sample_interval;
+                if next <= Time::ZERO + self.cfg_duration {
+                    self.events.schedule(next, Ev::Sample);
+                }
+            }
+        }
+    }
+
+    fn take_sample(&mut self, now: Time) {
+        let delivered: Vec<u64> = self.flows.iter().map(|f| f.receiver.delivered()).collect();
+        self.goodput.record(now, delivered);
+        if !self.monitored.is_empty() {
+            let tx: Vec<u64> = self
+                .monitored
+                .iter()
+                .map(|l| self.links[l.index()].qdisc.stats().tx_bytes)
+                .collect();
+            self.link_tx_series.push((now, tx));
+            let samples: Vec<CebinaeSample> = self
+                .monitored
+                .iter()
+                .map(|l| {
+                    let q: &dyn Qdisc = self.links[l.index()].qdisc.as_ref();
+                    as_cebinae(q)
+                        .map(|c| {
+                            let (saturated, top_rate_bps, bottom_rate_bps, top_flows) =
+                                c.control_snapshot();
+                            let x = c.xstats();
+                            CebinaeSample {
+                                saturated,
+                                top_rate_bps,
+                                bottom_rate_bps,
+                                top_flows,
+                                lbf_drops: x.lbf_drops,
+                                delayed_pkts: x.delayed_pkts,
+                            }
+                        })
+                        .unwrap_or_default()
+                })
+                .collect();
+            self.saturated_series
+                .push((now, samples.iter().map(|s| s.saturated).collect()));
+            self.cebinae_series.push((now, samples));
+        }
+    }
+
+    /// Enqueue a packet on a link and start transmission if idle.
+    fn enqueue_link(&mut self, now: Time, link: LinkId, pkt: Packet) {
+        let traced = self.traced_links.contains(&link);
+        if self.fault_drop > 0.0 && self.rng.gen_bool(self.fault_drop) {
+            if traced {
+                self.trace.push(TraceRecord::from_packet(
+                    now,
+                    link,
+                    &pkt,
+                    TraceEvent::Drop(cebinae_net::DropReason::Injected),
+                ));
+            }
+            return; // injected loss
+        }
+        if traced {
+            // Record the offered packet; overwrite with the drop verdict if
+            // the qdisc rejects it.
+            let rec = TraceRecord::from_packet(now, link, &pkt, TraceEvent::Enqueue);
+            let l = &mut self.links[link.index()];
+            match l.qdisc.enqueue(pkt, now) {
+                Ok(()) => self.trace.push(rec),
+                Err((dropped, reason)) => self.trace.push(TraceRecord::from_packet(
+                    now,
+                    link,
+                    &dropped,
+                    TraceEvent::Drop(reason),
+                )),
+            }
+        } else {
+            let l = &mut self.links[link.index()];
+            let _ = l.qdisc.enqueue(pkt, now);
+        }
+        self.kick(now, link);
+    }
+
+    /// If the link is idle and has queued packets, begin serializing.
+    fn kick(&mut self, now: Time, link: LinkId) {
+        let l = &mut self.links[link.index()];
+        if l.busy {
+            return;
+        }
+        let Some(pkt) = l.qdisc.dequeue(now) else {
+            return;
+        };
+        if self.traced_links.contains(&link) {
+            self.trace
+                .push(TraceRecord::from_packet(now, link, &pkt, TraceEvent::Dequeue));
+        }
+        let l = &mut self.links[link.index()];
+        l.busy = true;
+        let done = now + tx_time(pkt.size as u64, l.rate_bps);
+        let arrive = done + l.delay;
+        self.events.schedule(done, Ev::TxDone { link });
+        self.events.schedule(arrive, Ev::Arrive { link, pkt });
+    }
+
+    fn on_tx_done(&mut self, now: Time, link: LinkId) {
+        self.links[link.index()].busy = false;
+        self.kick(now, link);
+    }
+
+    fn on_arrive(&mut self, now: Time, link: LinkId, mut pkt: Packet) {
+        let flow = pkt.flow;
+        let f = &self.flows[flow.index()];
+        let path = if pkt.is_data() {
+            &f.fwd_path
+        } else {
+            &f.rev_path
+        };
+        let hop = pkt.hop as usize;
+        debug_assert_eq!(path[hop], link, "packet took an unexpected link");
+        if hop + 1 < path.len() {
+            pkt.hop += 1;
+            let next = path[pkt.hop as usize];
+            self.enqueue_link(now, next, pkt);
+            return;
+        }
+        // Endpoint delivery.
+        match pkt.kind {
+            PacketKind::Data { .. } => {
+                let mut ack = self.flows[flow.index()].receiver.on_data(&pkt, now);
+                ack.hop = 0;
+                let first = self.flows[flow.index()].rev_path[0];
+                self.enqueue_link(now, first, ack);
+            }
+            PacketKind::Ack {
+                ack_seq,
+                ece,
+                echo_ts,
+                echo_retx,
+                sack,
+            } => {
+                let out = self.flows[flow.index()].sender.on_ack(
+                    ack_seq, ece, echo_ts, echo_retx, &sack, now,
+                );
+                self.apply_output(now, flow, out);
+            }
+        }
+    }
+
+    fn apply_output(&mut self, now: Time, flow: FlowId, out: TcpOutput) {
+        {
+            let f = &mut self.flows[flow.index()];
+            if f.completed_at.is_none() && f.sender.is_complete() {
+                f.completed_at = Some(now);
+            }
+        }
+        let first = self.flows[flow.index()].fwd_path[0];
+        for mut pkt in out.packets {
+            pkt.hop = 0;
+            self.enqueue_link(now, first, pkt);
+        }
+        let f = &mut self.flows[flow.index()];
+        match out.rto {
+            Some(TimerAction::Set(t)) => {
+                f.rto_deadline = Some(t);
+                let need_schedule = match f.rto_scheduled {
+                    None => true,
+                    Some(s) => t < s,
+                };
+                if need_schedule {
+                    f.rto_scheduled = Some(t);
+                    self.events.schedule(t, Ev::Rto { flow });
+                }
+            }
+            Some(TimerAction::Cancel) => {
+                f.rto_deadline = None;
+            }
+            None => {}
+        }
+        if let Some(at) = out.pace_at {
+            let f = &mut self.flows[flow.index()];
+            let need = match f.pace_scheduled {
+                None => true,
+                Some(s) => at < s,
+            };
+            if need {
+                f.pace_scheduled = Some(at);
+                self.events.schedule(at.max(now), Ev::Pace { flow, at });
+            }
+        }
+    }
+
+    fn on_rto_event(&mut self, now: Time, flow: FlowId) {
+        let f = &mut self.flows[flow.index()];
+        f.rto_scheduled = None;
+        match f.rto_deadline {
+            Some(d) if d <= now => {
+                f.rto_deadline = None;
+                let out = f.sender.on_rto_timer(now);
+                self.apply_output(now, flow, out);
+            }
+            Some(d) => {
+                // Deadline moved later (ACKs arrived); re-arm lazily.
+                f.rto_scheduled = Some(d);
+                self.events.schedule(d, Ev::Rto { flow });
+            }
+            None => {}
+        }
+    }
+}
+
+/// Downcast to the Cebinae qdisc for state sampling.
+fn as_cebinae(q: &dyn Qdisc) -> Option<&CebinaeQdisc> {
+    q.as_any().downcast_ref::<CebinaeQdisc>()
+}

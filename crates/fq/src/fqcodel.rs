@@ -1,0 +1,407 @@
+//! FQ-CoDel (RFC 8290): Deficit Round Robin across hashed per-flow queues,
+//! each policed by CoDel. This is the paper's "FQ" baseline — its ns-3
+//! evaluation runs FQ-CoDel with the queue count raised to 2³²−1 so every
+//! flow gets a dedicated queue ("ideal per-flow queue"). We default to the
+//! same idealization (bucket = flow id) and allow a finite bucket count for
+//! realistic configurations.
+
+use std::collections::{HashMap, VecDeque};
+
+use cebinae_sim::Time;
+use cebinae_net::{DropReason, Packet, Qdisc, QdiscStats};
+
+use crate::codel::{Codel, CodelVerdict};
+
+/// Configuration for [`FqCoDelQdisc`].
+#[derive(Clone, Debug)]
+pub struct FqCoDelConfig {
+    /// Shared buffer limit in bytes.
+    pub limit_bytes: u64,
+    /// DRR quantum per round, bytes (RFC suggests one MTU).
+    pub quantum: u32,
+    /// Number of hash buckets. `None` = one bucket per flow id (the paper's
+    /// idealized setting).
+    pub buckets: Option<u32>,
+    pub codel_target: cebinae_sim::Duration,
+    pub codel_interval: cebinae_sim::Duration,
+    /// Mark ECN-capable packets instead of dropping them.
+    pub ecn: bool,
+}
+
+impl Default for FqCoDelConfig {
+    fn default() -> Self {
+        FqCoDelConfig {
+            limit_bytes: 10 * 1024 * 1500,
+            quantum: 1500,
+            buckets: None,
+            codel_target: cebinae_sim::Duration::from_millis(5),
+            codel_interval: cebinae_sim::Duration::from_millis(100),
+            ecn: false,
+        }
+    }
+}
+
+impl FqCoDelConfig {
+    pub fn ideal_with_limit(limit_bytes: u64) -> FqCoDelConfig {
+        FqCoDelConfig {
+            limit_bytes,
+            ..FqCoDelConfig::default()
+        }
+    }
+}
+
+struct FlowQueue {
+    queue: VecDeque<(Packet, Time)>,
+    bytes: u64,
+    deficit: i64,
+    codel: Codel,
+    /// Queue appears in exactly one scheduling list while non-idle.
+    scheduled: bool,
+    new_flow: bool,
+}
+
+/// FQ-CoDel queueing discipline.
+pub struct FqCoDelQdisc {
+    cfg: FqCoDelConfig,
+    flows: HashMap<u64, FlowQueue>,
+    new_list: VecDeque<u64>,
+    old_list: VecDeque<u64>,
+    total_bytes: u64,
+    stats: QdiscStats,
+}
+
+impl FqCoDelQdisc {
+    pub fn new(cfg: FqCoDelConfig) -> FqCoDelQdisc {
+        FqCoDelQdisc {
+            cfg,
+            flows: HashMap::new(),
+            new_list: VecDeque::new(),
+            old_list: VecDeque::new(),
+            total_bytes: 0,
+            stats: QdiscStats::default(),
+        }
+    }
+
+    fn bucket_of(&self, pkt: &Packet) -> u64 {
+        match self.cfg.buckets {
+            Some(n) => cebinae_sim::rng::splitmix64(pkt.flow.0 as u64) % n as u64,
+            None => pkt.flow.0 as u64,
+        }
+    }
+
+    /// RFC 8290 overload behavior: drop from the head of the fattest queue.
+    fn drop_from_fattest(&mut self, now: Time) {
+        let Some((&bucket, _)) = self
+            .flows
+            .iter()
+            .filter(|(_, q)| !q.queue.is_empty())
+            .max_by_key(|(_, q)| q.bytes)
+        else {
+            return;
+        };
+        let q = self.flows.get_mut(&bucket).expect("bucket exists");
+        if let Some((pkt, _)) = q.queue.pop_front() {
+            q.bytes -= pkt.size as u64;
+            self.total_bytes -= pkt.size as u64;
+            self.stats.on_drop(pkt.size);
+        }
+        let _ = now;
+    }
+
+    /// Pull the next deliverable packet from a specific flow queue,
+    /// applying CoDel. Returns None if the queue emptied.
+    fn codel_dequeue(&mut self, bucket: u64, now: Time) -> Option<Packet> {
+        loop {
+            let ecn_mode = self.cfg.ecn;
+            let q = self.flows.get_mut(&bucket)?;
+            let (mut pkt, enq_time) = q.queue.pop_front()?;
+            q.bytes -= pkt.size as u64;
+            self.total_bytes -= pkt.size as u64;
+            match q.codel.on_dequeue(enq_time, now, q.bytes) {
+                CodelVerdict::Deliver => {
+                    self.stats.on_tx(pkt.size);
+                    return Some(pkt);
+                }
+                CodelVerdict::Drop => {
+                    if ecn_mode && pkt.try_mark_ce() {
+                        // Mark instead of dropping (RFC 8290 §4.2).
+                        self.stats.ecn_marked += 1;
+                        self.stats.on_tx(pkt.size);
+                        return Some(pkt);
+                    }
+                    self.stats.on_drop(pkt.size);
+                    // loop: consider the next head packet
+                }
+            }
+        }
+    }
+}
+
+impl Qdisc for FqCoDelQdisc {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> Result<(), (Packet, DropReason)> {
+        let bucket = self.bucket_of(&pkt);
+        let size = pkt.size;
+        let target = self.cfg.codel_target;
+        let interval = self.cfg.codel_interval;
+        let q = self.flows.entry(bucket).or_insert_with(|| FlowQueue {
+            queue: VecDeque::new(),
+            bytes: 0,
+            deficit: 0,
+            codel: Codel::new(target, interval),
+            scheduled: false,
+            new_flow: false,
+        });
+        q.queue.push_back((pkt, now));
+        q.bytes += size as u64;
+        self.total_bytes += size as u64;
+        self.stats.on_enqueue(size);
+        if !q.scheduled {
+            q.scheduled = true;
+            q.new_flow = true;
+            q.deficit = self.cfg.quantum as i64;
+            self.new_list.push_back(bucket);
+        }
+        // Enforce the shared limit by dropping from the fattest queue
+        // (which may be the one we just fed).
+        while self.total_bytes > self.cfg.limit_bytes {
+            self.drop_from_fattest(now);
+        }
+        Ok(())
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        loop {
+            // Prefer new flows, then old flows (RFC 8290 scheduling).
+            let (bucket, from_new) = if let Some(&b) = self.new_list.front() {
+                (b, true)
+            } else if let Some(&b) = self.old_list.front() {
+                (b, false)
+            } else {
+                return None;
+            };
+
+            let q = self.flows.get_mut(&bucket).expect("scheduled bucket");
+            if q.deficit <= 0 {
+                // Exhausted its quantum: move to the back of old list with a
+                // fresh quantum.
+                q.deficit += self.cfg.quantum as i64;
+                if from_new {
+                    self.new_list.pop_front();
+                } else {
+                    self.old_list.pop_front();
+                }
+                q.new_flow = false;
+                self.old_list.push_back(bucket);
+                continue;
+            }
+
+            match self.codel_dequeue(bucket, now) {
+                Some(pkt) => {
+                    let q = self.flows.get_mut(&bucket).expect("bucket exists");
+                    q.deficit -= pkt.size as i64;
+                    return Some(pkt);
+                }
+                None => {
+                    // Queue emptied. A new flow that empties moves to the old
+                    // list once (RFC 8290) — approximated by simple removal,
+                    // which matches ns-3's behavior closely enough for
+                    // long-lived flows.
+                    let q = self.flows.get_mut(&bucket).expect("bucket exists");
+                    q.scheduled = false;
+                    q.new_flow = false;
+                    if from_new {
+                        self.new_list.pop_front();
+                    } else {
+                        self.old_list.pop_front();
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn pkt_len(&self) -> usize {
+        self.flows.values().map(|q| q.queue.len()).sum()
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fq-codel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cebinae_net::{FlowId, PacketKind, MSS};
+
+    fn pkt(flow: u32, seq: u64) -> Packet {
+        Packet::data(FlowId(flow), seq, MSS, false, Time::ZERO)
+    }
+
+    fn flow_of(p: &Packet) -> u32 {
+        p.flow.0
+    }
+
+    #[test]
+    fn round_robin_across_flows() {
+        let mut q = FqCoDelQdisc::new(FqCoDelConfig::default());
+        // Backlog 6 packets from flow 0, then 6 from flow 1.
+        for i in 0..6 {
+            q.enqueue(pkt(0, i), Time::ZERO).unwrap();
+        }
+        for i in 0..6 {
+            q.enqueue(pkt(1, i), Time::ZERO).unwrap();
+        }
+        let order: Vec<u32> = (0..12)
+            .map(|_| flow_of(&q.dequeue(Time::from_micros(10)).unwrap()))
+            .collect();
+        // With quantum == 1 MTU the flows must alternate (after the initial
+        // new-flow passes).
+        let first_half_f0 = order[..6].iter().filter(|&&f| f == 0).count();
+        assert!(
+            (2..=4).contains(&first_half_f0),
+            "fair interleaving expected, got {order:?}"
+        );
+    }
+
+    #[test]
+    fn fair_shares_with_unequal_backlogs() {
+        let mut q = FqCoDelQdisc::new(FqCoDelConfig::default());
+        // Flow 0 has a huge backlog, flows 1..4 have small ones.
+        for i in 0..100 {
+            q.enqueue(pkt(0, i), Time::ZERO).unwrap();
+        }
+        for f in 1..4 {
+            for i in 0..10 {
+                q.enqueue(pkt(f, i), Time::ZERO).unwrap();
+            }
+        }
+        // Dequeue 40 packets: each flow should get ≈10.
+        let mut counts = [0usize; 4];
+        for _ in 0..40 {
+            let p = q.dequeue(Time::from_micros(1)).unwrap();
+            counts[flow_of(&p) as usize] += 1;
+        }
+        for (f, &c) in counts.iter().enumerate() {
+            assert!((8..=12).contains(&c), "flow {f} got {c}/40: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn overload_drops_from_fattest_flow() {
+        let mut q = FqCoDelQdisc::new(FqCoDelConfig {
+            limit_bytes: 10 * 1500,
+            ..FqCoDelConfig::default()
+        });
+        for i in 0..9 {
+            q.enqueue(pkt(0, i), Time::ZERO).unwrap();
+        }
+        // Flow 1 arrives; the shared limit forces drops from flow 0 (the
+        // fattest), never from flow 1.
+        for i in 0..3 {
+            q.enqueue(pkt(1, i), Time::ZERO).unwrap();
+        }
+        assert!(q.stats().drop_pkts > 0);
+        // All of flow 1's packets must still be present.
+        let mut f1 = 0;
+        while let Some(p) = q.dequeue(Time::from_micros(1)) {
+            if flow_of(&p) == 1 {
+                f1 += 1;
+            }
+        }
+        assert_eq!(f1, 3);
+    }
+
+    #[test]
+    fn codel_drops_under_standing_queue() {
+        let mut q = FqCoDelQdisc::new(FqCoDelConfig::default());
+        // Build a standing queue and dequeue slowly (sojourn > target).
+        let mut now = Time::ZERO;
+        let mut seq = 0;
+        let mut delivered = 0u64;
+        for _ in 0..400 {
+            now = now + cebinae_sim::Duration::from_millis(2);
+            for _ in 0..2 {
+                q.enqueue(pkt(0, seq), now).unwrap();
+                seq += 1;
+            }
+            // Serve 1 packet per 2ms: queue grows, sojourn rises.
+            if q.dequeue(now).is_some() {
+                delivered += 1;
+            }
+        }
+        assert!(
+            q.stats().drop_pkts > 0,
+            "CoDel must engage on a standing queue (delivered {delivered})"
+        );
+    }
+
+    #[test]
+    fn ecn_marks_instead_of_dropping() {
+        let mut q = FqCoDelQdisc::new(FqCoDelConfig {
+            ecn: true,
+            ..FqCoDelConfig::default()
+        });
+        let mut now = Time::ZERO;
+        let mut seq = 0;
+        for _ in 0..400 {
+            now = now + cebinae_sim::Duration::from_millis(2);
+            for _ in 0..2 {
+                let mut p = pkt(0, seq);
+                p.ecn = cebinae_net::Ecn::Capable;
+                q.enqueue(p, now).unwrap();
+                seq += 1;
+            }
+            q.dequeue(now);
+        }
+        assert!(q.stats().ecn_marked > 0, "ECN-capable packets get marked");
+        assert_eq!(q.stats().drop_pkts, 0, "no drops when marking suffices");
+    }
+
+    #[test]
+    fn finite_buckets_hash_flows_together() {
+        let mut q = FqCoDelQdisc::new(FqCoDelConfig {
+            buckets: Some(1),
+            ..FqCoDelConfig::default()
+        });
+        q.enqueue(pkt(0, 0), Time::ZERO).unwrap();
+        q.enqueue(pkt(1, 0), Time::ZERO).unwrap();
+        assert_eq!(q.flows.len(), 1, "both flows share the single bucket");
+    }
+
+    #[test]
+    fn conservation() {
+        let mut q = FqCoDelQdisc::new(FqCoDelConfig::default());
+        for f in 0..5 {
+            for i in 0..20 {
+                q.enqueue(pkt(f, i), Time::ZERO).unwrap();
+            }
+        }
+        let mut tx = 0u64;
+        while q.dequeue(Time::from_micros(1)).is_some() {
+            tx += 1;
+        }
+        let s = q.stats();
+        assert_eq!(s.enq_pkts, tx + s.drop_pkts);
+        assert_eq!(q.byte_len(), 0);
+        // Ack packets aren't data but should flow through fine too.
+        let a = Packet::ack(FlowId(9), 0, false, Time::ZERO, false, Time::ZERO);
+        q.enqueue(a, Time::ZERO).unwrap();
+        assert!(matches!(
+            q.dequeue(Time::from_micros(2)).unwrap().kind,
+            PacketKind::Ack { .. }
+        ));
+    }
+}

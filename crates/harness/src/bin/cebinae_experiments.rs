@@ -1,0 +1,79 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N]
+//! cebinae-experiments all [--full]
+//! cebinae-experiments list
+//! ```
+
+use cebinae_harness::{run_experiment, Ctx, EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N]\n\
+         \n\
+         experiments: {}\n\
+         special:     all (every experiment), list (print names)\n\
+         flags:       --full   paper-duration runs (100 s, 100 trials)\n\
+                      --rows   table2 row filter (comma-separated ids)\n\
+                      --seed   RNG seed / trial index (default 1)",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut ctx = Ctx::from_env();
+    let mut rows: Option<Vec<usize>> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => ctx.full = true,
+            "--rows" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                rows = Some(
+                    v.split(',')
+                        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--seed" => {
+                ctx.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                return;
+            }
+            "all" => experiments.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "-h" | "--help" => usage(),
+            name => experiments.push(name.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    for name in experiments {
+        println!("==== {name} {}====", if ctx.full { "(full) " } else { "" });
+        let t0 = std::time::Instant::now();
+        match run_experiment(&name, &ctx, rows.as_deref()) {
+            Ok(out) => {
+                println!("{out}");
+                println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

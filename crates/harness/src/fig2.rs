@@ -1,0 +1,105 @@
+//! Figure 2: the paper's two worked examples of unfairness, reproduced
+//! with the exact water-filling solver and the §3.2 fluid model of
+//! Cebinae's taxation dynamics.
+//!
+//! (2a) a single 10-unit bottleneck where one flow acquires bandwidth 6×
+//! as effectively as four competitors; (2b) a multi-bottleneck network
+//! where flow A out-competes B 10× and C 100×.
+
+use cebinae::{rounds_to_converge, FluidFlow, FluidModel};
+use cebinae_metrics::{water_filling, MaxMinFlow};
+
+use crate::runner::Table;
+
+pub fn run() -> String {
+    let mut out = String::new();
+
+    // ---- Figure 2a ----
+    out.push_str("Figure 2a — single bottleneck, one 6x-aggressive flow\n\n");
+    let ideal = water_filling(
+        &[10.0],
+        &(0..5).map(|_| MaxMinFlow::through(vec![0])).collect::<Vec<_>>(),
+    );
+    let mut model = FluidModel {
+        capacities: vec![10.0],
+        flows: (0..5)
+            .map(|i| FluidFlow {
+                links: vec![0],
+                weight: if i == 0 { 6.0 } else { 1.0 },
+                rate: if i == 0 { 6.0 } else { 1.0 },
+            })
+            .collect(),
+        tau: 0.01,
+        delta_p: 0.01,
+        delta_f: 0.01,
+    };
+    let mut t = Table::new(&["round", "aggressive", "others(avg)", "utilization"]);
+    let checkpoints = [0usize, 10, 40, 100, 200, 400, 1000];
+    let mut at = 0usize;
+    for &round in &checkpoints {
+        for _ in at..round {
+            model.step();
+        }
+        at = round;
+        t.row(vec![
+            round.to_string(),
+            format!("{:.2}", model.flows[0].rate),
+            format!(
+                "{:.2}",
+                model.flows[1..].iter().map(|f| f.rate).sum::<f64>() / 4.0
+            ),
+            format!("{:.2}", model.rates().iter().sum::<f64>()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nideal max-min: {:?}; closed-form rounds for 6 -> 2 at τ=1%: {:.0}\n\n",
+        ideal,
+        rounds_to_converge(6.0, 2.0, 0.01)
+    ));
+
+    // ---- Figure 2b ----
+    out.push_str("Figure 2b — multiple bottlenecks (A = 10x B = 100x C)\n\n");
+    // Links: l2 (cap 10) carries B and C; l3 (cap 20) carries A and B.
+    // Max-min: C and B split l2 (5 each); A gets l3's remainder (15).
+    let caps = vec![20.0, 10.0];
+    let ideal_b = water_filling(
+        &caps,
+        &[
+            MaxMinFlow::through(vec![0]),
+            MaxMinFlow::through(vec![0, 1]),
+            MaxMinFlow::through(vec![1]),
+        ],
+    );
+    let mut model = FluidModel {
+        capacities: caps,
+        flows: vec![
+            FluidFlow { links: vec![0], weight: 100.0, rate: 18.0 },
+            FluidFlow { links: vec![0, 1], weight: 10.0, rate: 1.8 },
+            FluidFlow { links: vec![1], weight: 1.0, rate: 0.18 },
+        ],
+        tau: 0.01,
+        delta_p: 0.01,
+        delta_f: 0.01,
+    };
+    let rounds = model.run_to_fixpoint(1e-7, 200_000);
+    let r = model.rates();
+    out.push_str(&format!(
+        "initial {{A:18.0, B:1.8, C:0.18}} -> fluid fixpoint after {rounds} rounds: \
+         {{A:{:.2}, B:{:.2}, C:{:.2}}}\nideal max-min: {{A:{:.1}, B:{:.1}, C:{:.1}}}\n",
+        r[0], r[1], r[2], ideal_b[0], ideal_b[1], ideal_b[2]
+    ));
+    out
+}
+
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig2_renders_both_examples() {
+        let out = super::run();
+        assert!(out.contains("Figure 2a"));
+        assert!(out.contains("Figure 2b"));
+        assert!(out.contains("ideal max-min"));
+    }
+}

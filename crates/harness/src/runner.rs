@@ -1,0 +1,191 @@
+//! Shared experiment-running machinery: scaled-vs-full durations, dumbbell
+//! runs with the standard metric set, and table formatting.
+
+use cebinae_engine::{dumbbell, Discipline, DumbbellFlow, ScenarioParams, SimResult, Simulation};
+use cebinae_metrics::jfi;
+use cebinae_sim::{Duration, Time};
+
+/// Global experiment context: scaled (default) or full paper durations.
+#[derive(Clone, Copy, Debug)]
+pub struct Ctx {
+    /// Run the paper's full 100 s experiments instead of scaled ones.
+    pub full: bool,
+    /// Base RNG seed / trial index.
+    pub seed: u64,
+}
+
+impl Ctx {
+    pub fn from_env() -> Ctx {
+        Ctx {
+            full: std::env::var_os("CEBINAE_FULL").is_some(),
+            seed: 1,
+        }
+    }
+
+    /// Choose the simulated duration: the paper's `full_secs` when running
+    /// full, else `scaled_secs`.
+    pub fn secs(&self, scaled_secs: u64, full_secs: u64) -> Duration {
+        Duration::from_secs(if self.full { full_secs } else { scaled_secs })
+    }
+}
+
+/// Standard single-bottleneck run outcome.
+pub struct RunMetrics {
+    /// Bottleneck throughput, bits/sec (paper "Throughput" columns).
+    pub throughput_bps: f64,
+    /// Sum of application goodputs, bits/sec (paper "Goodput" columns).
+    pub goodput_bps: f64,
+    /// Jain's index over per-flow goodputs.
+    pub jfi: f64,
+    /// Per-flow goodputs, bits/sec.
+    pub per_flow_bps: Vec<f64>,
+    pub result: SimResult,
+}
+
+/// Warmup excluded from averages (slow-start transient), as a fraction of
+/// the run.
+const WARMUP_FRACTION: u64 = 10;
+
+/// Run a dumbbell scenario and compute the standard metrics.
+pub fn run_dumbbell(
+    flows: &[DumbbellFlow],
+    rate_bps: u64,
+    buffer_mtus: u64,
+    discipline: Discipline,
+    duration: Duration,
+    seed: u64,
+) -> RunMetrics {
+    let mut p = ScenarioParams::new(rate_bps, buffer_mtus, discipline);
+    p.duration = duration;
+    p.seed = seed;
+    p.cebinae_p = Some(1);
+    run_with_params(flows, &p)
+}
+
+/// Run with explicit parameters (threshold sweeps etc.).
+pub fn run_with_params(flows: &[DumbbellFlow], p: &ScenarioParams) -> RunMetrics {
+    let (cfg, bneck) = dumbbell(flows, p);
+    let result = Simulation::new(cfg).run();
+    let warmup = Time::ZERO + p.duration / WARMUP_FRACTION;
+    let per_flow_bps = result.goodputs_bps(warmup);
+    RunMetrics {
+        throughput_bps: result.link_throughput_bps(bneck, warmup),
+        goodput_bps: per_flow_bps.iter().sum(),
+        jfi: jfi(&per_flow_bps),
+        per_flow_bps,
+        result,
+    }
+}
+
+/// Render a rate in the paper's Table 2 style (Mbps with 4-5 significant
+/// digits).
+pub fn mbps(bps: f64) -> String {
+    let m = bps / 1e6;
+    if m >= 1000.0 {
+        format!("{m:.0}")
+    } else if m >= 100.0 {
+        format!("{m:.1}")
+    } else {
+        format!("{m:.2}")
+    }
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cebinae_transport::CcKind;
+
+    #[test]
+    fn run_dumbbell_produces_consistent_metrics() {
+        let flows = vec![
+            DumbbellFlow::new(CcKind::NewReno, 20),
+            DumbbellFlow::new(CcKind::NewReno, 20),
+        ];
+        let m = run_dumbbell(
+            &flows,
+            10_000_000,
+            100,
+            Discipline::Fifo,
+            Duration::from_secs(4),
+            1,
+        );
+        assert_eq!(m.per_flow_bps.len(), 2);
+        assert!((m.goodput_bps - m.per_flow_bps.iter().sum::<f64>()).abs() < 1.0);
+        assert!(m.goodput_bps < m.throughput_bps);
+        assert!(m.jfi > 0.0 && m.jfi <= 1.0);
+    }
+
+    #[test]
+    fn ctx_scaling() {
+        let scaled = Ctx { full: false, seed: 0 };
+        let full = Ctx { full: true, seed: 0 };
+        assert_eq!(scaled.secs(10, 100), Duration::from_secs(10));
+        assert_eq!(full.secs(10, 100), Duration::from_secs(100));
+    }
+
+    #[test]
+    fn mbps_formatting() {
+        assert_eq!(mbps(98.95e6), "98.95");
+        assert_eq!(mbps(989.8e6), "989.8");
+        assert_eq!(mbps(9876e6), "9876");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+        assert_eq!(lines[2].trim_start().split_whitespace().count(), 2);
+    }
+}

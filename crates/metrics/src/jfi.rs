@@ -1,0 +1,126 @@
+//! Jain's Fairness Index and related fairness metrics.
+
+/// Jain's Fairness Index: `(Σx)² / (n · Σx²)`. Ranges in `(0, 1]`, with 1
+/// for perfectly equal allocations and `1/n` when a single member takes
+/// everything (Jain et al., 1984).
+pub fn jfi(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        // All-zero allocation: conventionally perfectly fair.
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
+/// Max-min-normalized JFI (the paper's Figure 11 / §5.3 metric, after the
+/// ATM Forum throughput-fairness index): each rate is first normalized by
+/// its *ideal* max-min allocation, `x_i = r_i / r̂_i`, so 1.0 means the
+/// network realized the exact max-min allocation even when ideal rates are
+/// unequal.
+pub fn jfi_maxmin_normalized(rates: &[f64], ideal: &[f64]) -> f64 {
+    assert_eq!(
+        rates.len(),
+        ideal.len(),
+        "rates and ideal allocations must align"
+    );
+    let xs: Vec<f64> = rates
+        .iter()
+        .zip(ideal)
+        .map(|(&r, &i)| if i > 0.0 { r / i } else { 0.0 })
+        .collect();
+    jfi(&xs)
+}
+
+/// An empirical CDF over samples: returns (value, fraction ≤ value) pairs
+/// at each distinct sample (used for Figure 8's goodput CDFs).
+pub fn cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut xs: Vec<f64> = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let n = xs.len() as f64;
+    xs.iter()
+        .enumerate()
+        .map(|(i, &x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Percentile (0..=100) by nearest-rank on a sorted copy.
+pub fn percentile(samples: &[f64], pct: f64) -> f64 {
+    assert!(!samples.is_empty());
+    assert!((0.0..=100.0).contains(&pct));
+    let mut xs: Vec<f64> = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let rank = ((pct / 100.0 * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+    xs[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocation_is_one() {
+        assert!((jfi(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jfi(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_gives_one_over_n() {
+        let n = 10;
+        let mut xs = vec![0.0; n];
+        xs[3] = 42.0;
+        assert!((jfi(&xs) - 1.0 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_example() {
+        // Jain's classic example: {1, 1, 1, 5}: (8)^2 / (4 * 28) = 0.571...
+        let v = jfi(&[1.0, 1.0, 1.0, 5.0]);
+        assert!((v - 64.0 / 112.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(jfi(&[]), 1.0);
+        assert_eq!(jfi(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn normalized_jfi_rewards_matching_ideal() {
+        // Unequal ideal rates, exactly achieved -> 1.0.
+        let ideal = [8.0, 1.8, 0.2];
+        assert!((jfi_maxmin_normalized(&ideal, &ideal) - 1.0).abs() < 1e-12);
+        // Uniform achievement of half the ideal is still 1.0 (scale-free).
+        let half: Vec<f64> = ideal.iter().map(|x| x / 2.0).collect();
+        assert!((jfi_maxmin_normalized(&half, &ideal) - 1.0).abs() < 1e-12);
+        // Inverted allocation is penalized.
+        let inverted = [0.2, 1.8, 8.0];
+        assert!(jfi_maxmin_normalized(&inverted, &ideal) < 0.5);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let samples = [3.0, 1.0, 2.0, 2.0];
+        let c = cdf(&samples);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], (1.0, 0.25));
+        assert_eq!(c.last().unwrap(), &(3.0, 1.0));
+        for w in c.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+        assert_eq!(percentile(&xs, 100.0), 10.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 91.0), 10.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! # cebinae-metrics
+//!
+//! Fairness and performance metrics for the Cebinae reproduction:
+//!
+//! * [`jfi`] — Jain's Fairness Index (plain and max-min-normalized, §5.3)
+//!   plus CDF/percentile helpers for Figure 8;
+//! * [`maxmin`] — the exact water-filling max-min solver (§3.1), producing
+//!   the "Ideal" allocations of Figure 11;
+//! * [`series`] — per-flow goodput time series for Figures 1 and 10.
+
+pub mod jfi;
+pub mod maxmin;
+pub mod series;
+
+pub use jfi::{cdf, jfi, jfi_maxmin_normalized, percentile};
+pub use maxmin::{is_feasible, water_filling, MaxMinFlow};
+pub use series::GoodputSeries;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_network() -> impl Strategy<Value = (Vec<f64>, Vec<MaxMinFlow>)> {
+        (2usize..6, 1usize..8).prop_flat_map(|(n_links, n_flows)| {
+            let caps = proptest::collection::vec(0.5f64..100.0, n_links);
+            let flows = proptest::collection::vec(
+                proptest::collection::btree_set(0..n_links, 1..=n_links.min(3)),
+                n_flows,
+            );
+            (caps, flows).prop_map(|(caps, flows)| {
+                let flows = flows
+                    .into_iter()
+                    .map(|links| MaxMinFlow::through(links.into_iter().collect::<Vec<_>>()))
+                    .collect();
+                (caps, flows)
+            })
+        })
+    }
+
+    proptest! {
+        /// JFI is always in (0, 1] for non-negative inputs with a positive
+        /// sum, and is scale-invariant.
+        #[test]
+        fn jfi_bounds_and_scale_invariance(
+            xs in proptest::collection::vec(0.0f64..1e6, 1..64),
+            scale in 0.001f64..1000.0,
+        ) {
+            let v = jfi(&xs);
+            prop_assert!(v > 0.0 && v <= 1.0 + 1e-12, "jfi = {}", v);
+            let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+            prop_assert!((jfi(&scaled) - v).abs() < 1e-9);
+        }
+
+        /// Water-filling always produces feasible allocations in which
+        /// every flow that crosses a link has a bottleneck (Definition 2).
+        #[test]
+        fn water_filling_feasible_and_maxmin((caps, flows) in arb_network()) {
+            let rates = water_filling(&caps, &flows);
+            prop_assert!(is_feasible(&caps, &flows, &rates));
+            let mut load = vec![0.0; caps.len()];
+            for (f, &r) in flows.iter().zip(&rates) {
+                prop_assert!(r > 0.0);
+                for &l in &f.links {
+                    load[l] += r;
+                }
+            }
+            for (i, f) in flows.iter().enumerate() {
+                let has_bottleneck = f.links.iter().any(|&l| {
+                    let saturated = load[l] >= caps[l] - 1e-6;
+                    let is_max = flows
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, g)| g.links.contains(&l))
+                        .all(|(j, _)| rates[j] <= rates[i] + 1e-6);
+                    saturated && is_max
+                });
+                prop_assert!(
+                    has_bottleneck,
+                    "flow {} (rate {}) has no bottleneck; rates {:?}, load {:?}, caps {:?}",
+                    i, rates[i], rates, load, caps
+                );
+            }
+        }
+
+        /// Water-filling is invariant to flow order (uniqueness).
+        #[test]
+        fn water_filling_order_invariant((caps, flows) in arb_network()) {
+            let rates = water_filling(&caps, &flows);
+            let mut rev = flows.clone();
+            rev.reverse();
+            let mut rev_rates = water_filling(&caps, &rev);
+            rev_rates.reverse();
+            for (a, b) in rates.iter().zip(&rev_rates) {
+                prop_assert!((a - b).abs() < 1e-6, "{:?} vs {:?}", rates, rev_rates);
+            }
+        }
+
+        /// CDF endpoints and monotonicity.
+        #[test]
+        fn cdf_properties(xs in proptest::collection::vec(0.0f64..1e9, 1..100)) {
+            let c = cdf(&xs);
+            prop_assert_eq!(c.len(), xs.len());
+            prop_assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+            for w in c.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+}

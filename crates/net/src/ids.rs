@@ -1,0 +1,79 @@
+//! Typed identifiers for the arena-indexed network world.
+//!
+//! The simulator stores nodes, links, and flows in flat vectors; these
+//! newtypes keep the indices from being mixed up while staying `Copy` and
+//! free of lifetime entanglement.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node (host or switch) in the topology.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// A unidirectional link. Duplex cables are two `LinkId`s.
+    LinkId,
+    "l"
+);
+id_type!(
+    /// A transport-layer flow (one TCP connection).
+    FlowId,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", LinkId(7)), "l7");
+        assert_eq!(format!("{}", FlowId(12)), "f12");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let id = FlowId::from(42usize);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

@@ -1,0 +1,87 @@
+//! # cebinae-net
+//!
+//! Network substrate for the Cebinae reproduction: packets, typed ids, the
+//! queueing-discipline trait, the FIFO drop-tail baseline, and static
+//! topologies with shortest-path routing.
+//!
+//! Everything here is *mechanism-free* with respect to fairness: the
+//! interesting disciplines (Cebinae itself, FQ-CoDel, AFQ) live in their own
+//! crates and plug in through [`qdisc::Qdisc`].
+
+pub mod fifo;
+pub mod ids;
+pub mod packet;
+pub mod qdisc;
+pub mod topology;
+pub mod tracing;
+
+pub use fifo::FifoQdisc;
+pub use ids::{FlowId, LinkId, NodeId};
+pub use packet::{Ecn, Packet, PacketKind, SackBlocks, ACK_FRAME_BYTES, DATA_FRAME_BYTES, HEADER_BYTES, MSS};
+pub use qdisc::{BufferConfig, DropReason, Qdisc, QdiscStats};
+pub use topology::{LinkSpec, NodeKind, Topology};
+pub use tracing::{PacketTrace, TraceEvent, TraceRecord};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cebinae_sim::Time;
+    use proptest::prelude::*;
+
+    /// Model-based test of FIFO drop-tail: compare against a trivially
+    /// correct reference (a Vec with the same byte limit).
+    proptest! {
+        #[test]
+        fn fifo_matches_reference_model(
+            cap_mtus in 1u64..16,
+            sizes in proptest::collection::vec(52u32..=1500, 1..200),
+        ) {
+            let cap_bytes = cap_mtus * 1500;
+            let mut q = FifoQdisc::new(BufferConfig::mtus(cap_mtus));
+            let mut model: Vec<u32> = Vec::new();
+            let mut model_bytes = 0u64;
+            for (i, &sz) in sizes.iter().enumerate() {
+                let payload = sz.saturating_sub(HEADER_BYTES).clamp(1, MSS);
+                let pkt = Packet::data(FlowId(0), i as u64, payload, false, Time::ZERO);
+                let accepted = q.enqueue(pkt.clone(), Time::ZERO).is_ok();
+                let model_accepts = model_bytes + pkt.size as u64 <= cap_bytes;
+                prop_assert_eq!(accepted, model_accepts);
+                if model_accepts {
+                    model.push(pkt.size);
+                    model_bytes += pkt.size as u64;
+                }
+                prop_assert_eq!(q.byte_len(), model_bytes);
+                prop_assert_eq!(q.pkt_len(), model.len());
+            }
+            // Drain: order and sizes must match the model exactly.
+            for &expect in &model {
+                let got = q.dequeue(Time::ZERO).unwrap();
+                prop_assert_eq!(got.size, expect);
+            }
+            prop_assert!(q.dequeue(Time::ZERO).is_none());
+        }
+
+        /// Conservation: enq = tx + still-queued, in packets and bytes.
+        #[test]
+        fn fifo_conservation(
+            ops in proptest::collection::vec(proptest::bool::ANY, 1..300),
+        ) {
+            let mut q = FifoQdisc::new(BufferConfig::mtus(8));
+            let mut seq = 0u64;
+            for op in ops {
+                if op {
+                    let _ = q.enqueue(
+                        Packet::data(FlowId(0), seq, MSS, false, Time::ZERO),
+                        Time::ZERO,
+                    );
+                    seq += 1;
+                } else {
+                    let _ = q.dequeue(Time::ZERO);
+                }
+                let s = q.stats();
+                prop_assert_eq!(s.enq_pkts, s.tx_pkts + q.pkt_len() as u64);
+                prop_assert_eq!(s.enq_bytes, s.tx_bytes + q.byte_len());
+            }
+        }
+    }
+}

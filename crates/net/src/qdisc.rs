@@ -1,0 +1,150 @@
+//! The queueing-discipline abstraction — the pluggability seam of the whole
+//! reproduction.
+//!
+//! Each simulated link egress owns one `Qdisc`. The engine pushes arriving
+//! packets in with [`Qdisc::enqueue`] and, whenever the link is idle, pulls
+//! the next packet to serialize with [`Qdisc::dequeue`]. Disciplines that
+//! need periodic control-plane work (Cebinae's queue rotations and rate
+//! recomputations) expose it through [`Qdisc::control`], which the engine
+//! schedules as ordinary simulation events.
+//!
+//! This mirrors the structure of the paper's ns-3 prototype, which attaches
+//! Cebinae as a traffic-control-layer module to L2 NetDevices.
+
+use cebinae_sim::Time;
+
+use crate::packet::Packet;
+
+/// Why a packet was dropped (for diagnostics; TCP only observes the loss).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Shared buffer exhausted (drop-tail).
+    BufferFull,
+    /// An AQM (CoDel) decided to drop.
+    Aqm,
+    /// Cebinae's leaky-bucket filter: the packet's computed departure time
+    /// is beyond both available queues (`past_tail > 0` in Figure 5).
+    LbfPastTail,
+    /// AFQ-style calendar queue: target round more than `n_queues` ahead.
+    CalendarHorizon,
+    /// Fault injection.
+    Injected,
+}
+
+/// Cumulative counters every qdisc maintains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QdiscStats {
+    pub enq_pkts: u64,
+    pub enq_bytes: u64,
+    pub drop_pkts: u64,
+    pub drop_bytes: u64,
+    /// Packets/bytes handed to the link (egress, i.e. "transmitted").
+    pub tx_pkts: u64,
+    pub tx_bytes: u64,
+    pub ecn_marked: u64,
+}
+
+impl QdiscStats {
+    #[inline]
+    pub fn on_enqueue(&mut self, bytes: u32) {
+        self.enq_pkts += 1;
+        self.enq_bytes += bytes as u64;
+    }
+
+    #[inline]
+    pub fn on_drop(&mut self, bytes: u32) {
+        self.drop_pkts += 1;
+        self.drop_bytes += bytes as u64;
+    }
+
+    #[inline]
+    pub fn on_tx(&mut self, bytes: u32) {
+        self.tx_pkts += 1;
+        self.tx_bytes += bytes as u64;
+    }
+}
+
+/// A queueing discipline attached to one link egress.
+pub trait Qdisc: Send + std::any::Any {
+    /// Concrete-type access for state probes (e.g. sampling Cebinae's
+    /// saturation phase from the engine).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Offer `pkt` to the queue at time `now`. Returns the packet (with a
+    /// reason) if it was dropped instead of enqueued. Implementations may
+    /// mark ECN on the packet before queuing it.
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> Result<(), (Packet, DropReason)>;
+
+    /// Pull the next packet to transmit. Implementations may drop packets
+    /// internally during the search (e.g. CoDel), reflected in `stats`.
+    fn dequeue(&mut self, now: Time) -> Option<Packet>;
+
+    /// Bytes currently queued.
+    fn byte_len(&self) -> u64;
+
+    /// Packets currently queued.
+    fn pkt_len(&self) -> usize;
+
+    /// Called once when the owning link comes up. Returns the absolute time
+    /// of the first control event, if the discipline needs one.
+    fn activate(&mut self, _now: Time) -> Option<Time> {
+        None
+    }
+
+    /// Periodic control-plane hook; returns the time of the next control
+    /// event. The engine guarantees calls happen exactly at the requested
+    /// instants, in timestamp order relative to packet events.
+    fn control(&mut self, _now: Time) -> Option<Time> {
+        None
+    }
+
+    /// Cumulative statistics.
+    fn stats(&self) -> QdiscStats;
+
+    /// Short discipline name for reports ("fifo", "fq-codel", "cebinae"...).
+    fn name(&self) -> &'static str;
+}
+
+/// Configuration shared by buffer-limited disciplines: capacity expressed in
+/// MTUs, as in the paper's Table 2 "Buf." column.
+#[derive(Clone, Copy, Debug)]
+pub struct BufferConfig {
+    pub bytes: u64,
+}
+
+impl BufferConfig {
+    /// Buffer of `mtus` full-sized (1500 B) frames.
+    pub fn mtus(mtus: u64) -> BufferConfig {
+        BufferConfig {
+            bytes: mtus * crate::packet::DATA_FRAME_BYTES as u64,
+        }
+    }
+
+    pub fn bytes(bytes: u64) -> BufferConfig {
+        BufferConfig { bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_config_units() {
+        assert_eq!(BufferConfig::mtus(420).bytes, 420 * 1500);
+        assert_eq!(BufferConfig::bytes(1_000_000).bytes, 1_000_000);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = QdiscStats::default();
+        s.on_enqueue(1500);
+        s.on_enqueue(52);
+        s.on_drop(1500);
+        s.on_tx(52);
+        assert_eq!(s.enq_pkts, 2);
+        assert_eq!(s.enq_bytes, 1552);
+        assert_eq!(s.drop_pkts, 1);
+        assert_eq!(s.tx_bytes, 52);
+    }
+}

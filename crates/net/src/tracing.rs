@@ -1,0 +1,191 @@
+//! Packet-event tracing — the simulator's analogue of smoltcp's `--pcap`:
+//! a per-link record of enqueue/dequeue/drop events that tests and
+//! debugging sessions can assert against or dump as text.
+
+use std::fmt;
+
+use cebinae_sim::Time;
+
+use crate::ids::{FlowId, LinkId};
+use crate::packet::{Packet, PacketKind};
+use crate::qdisc::DropReason;
+
+/// What happened to a packet at a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Accepted into the link's queue.
+    Enqueue,
+    /// Handed to the wire.
+    Dequeue,
+    /// Dropped with the given reason.
+    Drop(DropReason),
+}
+
+/// One trace record.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    pub at: Time,
+    pub link: LinkId,
+    pub flow: FlowId,
+    /// Data sequence number, or the cumulative ACK for ACK packets.
+    pub seq: u64,
+    pub size: u32,
+    pub is_ack: bool,
+    /// Data packet was a retransmission.
+    pub is_retx: bool,
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    pub fn from_packet(at: Time, link: LinkId, pkt: &Packet, event: TraceEvent) -> TraceRecord {
+        let (seq, is_ack, is_retx) = match pkt.kind {
+            PacketKind::Data { seq, is_retx } => (seq, false, is_retx),
+            PacketKind::Ack { ack_seq, .. } => (ack_seq, true, false),
+        };
+        TraceRecord {
+            at,
+            link,
+            flow: pkt.flow,
+            seq,
+            size: pkt.size,
+            is_ack,
+            is_retx,
+            event,
+        }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ev = match self.event {
+            TraceEvent::Enqueue => "ENQ ".to_string(),
+            TraceEvent::Dequeue => "DEQ ".to_string(),
+            TraceEvent::Drop(r) => format!("DROP({r:?})"),
+        };
+        write!(
+            f,
+            "{:>12.6} {} {} {} seq={} len={} {}",
+            self.at.as_secs_f64(),
+            self.link,
+            ev,
+            self.flow,
+            self.seq,
+            self.size,
+            match (self.is_ack, self.is_retx) {
+                (true, _) => "ACK",
+                (false, true) => "DATA(retx)",
+                (false, false) => "DATA",
+            }
+        )
+    }
+}
+
+/// A bounded in-memory packet trace.
+#[derive(Debug, Default)]
+pub struct PacketTrace {
+    records: Vec<TraceRecord>,
+    /// Hard cap to keep long simulations from exhausting memory;
+    /// records past the cap are counted but not stored.
+    cap: usize,
+    pub truncated: u64,
+}
+
+impl PacketTrace {
+    pub fn with_capacity(cap: usize) -> PacketTrace {
+        PacketTrace {
+            records: Vec::new(),
+            cap,
+            truncated: 0,
+        }
+    }
+
+    pub fn push(&mut self, r: TraceRecord) {
+        if self.records.len() < self.cap {
+            self.records.push(r);
+        } else {
+            self.truncated += 1;
+        }
+    }
+
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records for one flow, in order.
+    pub fn for_flow(&self, flow: FlowId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.flow == flow)
+    }
+
+    /// Render as text (one record per line).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        if self.truncated > 0 {
+            out.push_str(&format!("... {} records truncated\n", self.truncated));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::MSS;
+
+    fn rec(ms: u64, flow: u32, seq: u64, event: TraceEvent) -> TraceRecord {
+        let pkt = Packet::data(FlowId(flow), seq, MSS, false, Time::from_millis(ms));
+        TraceRecord::from_packet(Time::from_millis(ms), LinkId(0), &pkt, event)
+    }
+
+    #[test]
+    fn records_capture_packet_fields() {
+        let r = rec(5, 3, 1448, TraceEvent::Enqueue);
+        assert_eq!(r.flow, FlowId(3));
+        assert_eq!(r.seq, 1448);
+        assert!(!r.is_ack);
+        assert_eq!(r.size, 1500);
+    }
+
+    #[test]
+    fn ack_records_use_ack_seq() {
+        let ack = Packet::ack(FlowId(1), 9999, false, Time::ZERO, false, Time::ZERO);
+        let r = TraceRecord::from_packet(Time::ZERO, LinkId(2), &ack, TraceEvent::Dequeue);
+        assert!(r.is_ack);
+        assert_eq!(r.seq, 9999);
+    }
+
+    #[test]
+    fn capacity_cap_counts_truncation() {
+        let mut t = PacketTrace::with_capacity(2);
+        for i in 0..5 {
+            t.push(rec(i, 0, i, TraceEvent::Enqueue));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.truncated, 3);
+        assert!(t.dump().contains("3 records truncated"));
+    }
+
+    #[test]
+    fn per_flow_filter_and_dump_format() {
+        let mut t = PacketTrace::with_capacity(100);
+        t.push(rec(1, 0, 0, TraceEvent::Enqueue));
+        t.push(rec(2, 1, 0, TraceEvent::Enqueue));
+        t.push(rec(3, 0, 1448, TraceEvent::Drop(DropReason::BufferFull)));
+        assert_eq!(t.for_flow(FlowId(0)).count(), 2);
+        let dump = t.dump();
+        assert!(dump.contains("DROP(BufferFull)"));
+        assert!(dump.contains("DATA"));
+        assert_eq!(dump.lines().count(), 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! # cebinae-sim
+//!
+//! Discrete-event simulation core for the Cebinae (SIGCOMM 2022)
+//! reproduction.
+//!
+//! This crate deliberately contains no networking knowledge; it provides the
+//! three primitives every other crate builds on:
+//!
+//! * [`time`] — a nanosecond-resolution virtual clock ([`Time`],
+//!   [`Duration`]) with the power-of-two round arithmetic Cebinae's data
+//!   plane uses,
+//! * [`queue`] — a deterministic [`EventQueue`] with FIFO tie-breaking at
+//!   equal timestamps,
+//! * [`rng`] — seeded, derivable random number generators so every
+//!   experiment is replayable.
+//!
+//! The simulator is synchronous and single-threaded by design: simulation is
+//! CPU-bound work on one logical timeline, the case where an async runtime
+//! buys nothing (parallelism across *trials* is achieved by running multiple
+//! independent simulations).
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use time::{bytes_in, tx_time, Duration, Time, NANOS_PER_SEC};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping the queue always yields non-decreasing timestamps, for
+        /// arbitrary interleavings of schedules.
+        #[test]
+        fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(Time(*t), i);
+            }
+            let mut last = Time::ZERO;
+            let mut count = 0;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                count += 1;
+            }
+            prop_assert_eq!(count, times.len());
+        }
+
+        /// Insertion order is preserved among equal timestamps.
+        #[test]
+        fn fifo_among_equal_times(n in 1usize..100, t in 0u64..1_000) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(Time(t), i);
+            }
+            let mut expect = 0;
+            while let Some((_, i)) = q.pop() {
+                prop_assert_eq!(i, expect);
+                expect += 1;
+            }
+        }
+
+        /// tx_time never undershoots the exact rational serialization delay,
+        /// and overshoots by less than 1ns.
+        #[test]
+        fn tx_time_bounds(bytes in 1u64..1_000_000, rate in 1_000u64..100_000_000_000u64) {
+            let d = tx_time(bytes, rate);
+            let exact = bytes as f64 * 8.0 / rate as f64 * 1e9;
+            prop_assert!(d.0 as f64 >= exact - 1e-6);
+            prop_assert!((d.0 as f64) < exact + 1.0 + 1e-6);
+        }
+
+        /// align_down is idempotent and never increases time.
+        #[test]
+        fn align_down_props(t in 0u64..u64::MAX / 2, shift in 0u32..40) {
+            let q = Duration(1u64 << shift);
+            let a = Time(t).align_down(q);
+            prop_assert!(a <= Time(t));
+            prop_assert_eq!(a.align_down(q), a);
+            prop_assert_eq!(a.0 % q.0, 0);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, sequence)`, where the sequence number is a
+//! monotonically increasing insertion counter. Two events scheduled for the
+//! same instant therefore fire in insertion order, which makes every run of
+//! the simulator bit-for-bit reproducible — a property the integration tests
+//! assert and which the experiment harness relies on for seeded trials.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An event queue entry. `E` is the caller's event payload type.
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic FIFO
+/// tie-breaking at equal timestamps.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the simulation
+    /// clock). `Time::ZERO` before any event has fired.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `at` is in the past — scheduling into the
+    /// past is always a logic error in a discrete-event simulation.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(5), "c");
+        q.schedule(Time::from_millis(1), "a");
+        q.schedule(Time::from_millis(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(2), ());
+        q.schedule(Time::from_secs(1), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_secs(1));
+        q.pop();
+        assert_eq!(q.now(), Time::from_secs(2));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), Time::from_secs(2));
+    }
+
+    #[test]
+    fn schedule_while_draining() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(1), 1u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        // Events scheduled at the current instant still fire.
+        q.schedule(t, 2);
+        q.schedule(t + Duration::from_secs(1), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(2), ());
+        q.pop();
+        q.schedule(Time::from_secs(1), ());
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::from_secs(1), ());
+        q.schedule(Time::from_secs(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_secs(1)));
+        q.pop();
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Sampling distributions for workload synthesis: Zipf ranks for flow-rate
+//! skew and bounded Pareto for flow durations — the standard heavy-tailed
+//! shapes of Internet backbone traffic.
+
+use rand::Rng;
+
+/// Zipf weights over `n` ranks with exponent `s`: `w_k ∝ 1/k^s`,
+/// normalized to sum to 1.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0);
+    assert!(s >= 0.0);
+    let mut w: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+/// Bounded Pareto sample in `[lo, hi]` with tail index `alpha`, via inverse
+/// transform sampling.
+pub fn bounded_pareto<R: Rng>(rng: &mut R, lo: f64, hi: f64, alpha: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // F^-1(u) for the bounded Pareto.
+    let x = -(u * ha - u * la - ha) / (ha * la);
+    x.powf(-1.0 / alpha)
+}
+
+/// Exponential inter-arrival sample with the given mean.
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cebinae_sim::rng::experiment_rng;
+
+    #[test]
+    fn zipf_weights_normalize_and_decay() {
+        let w = zipf_weights(100, 1.2);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        // Heavy head: rank 1 dominates rank 100.
+        assert!(w[0] / w[99] > 100.0);
+    }
+
+    #[test]
+    fn zipf_uniform_at_s_zero() {
+        let w = zipf_weights(10, 0.0);
+        for x in w {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut rng = experiment_rng("pareto", 0);
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut rng, 0.1, 100.0, 1.3);
+            assert!((0.1..=100.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        let mut rng = experiment_rng("pareto2", 0);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| bounded_pareto(&mut rng, 1.0, 1000.0, 1.1))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(mean > 2.0 * median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_is_right() {
+        let mut rng = experiment_rng("exp", 0);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, 5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+}

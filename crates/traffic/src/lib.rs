@@ -1,0 +1,19 @@
+//! # cebinae-traffic
+//!
+//! Workload synthesis for the Cebinae reproduction:
+//!
+//! * [`dist`] — heavy-tailed sampling primitives (Zipf, bounded Pareto,
+//!   exponential);
+//! * [`trace`] — the synthetic 10 Gbps ISP-backbone trace generator that
+//!   substitutes for the paper's CAIDA traces in Figure 13 (Poisson flow
+//!   arrivals at ≥400 k flows/min, Zipf-skewed rates, Pareto durations);
+//! * [`workload`] — Poisson/Pareto mice workloads for flow-completion-time
+//!   studies.
+
+pub mod dist;
+pub mod trace;
+pub mod workload;
+
+pub use dist::{bounded_pareto, exponential, zipf_weights};
+pub use trace::{interval_packets, SyntheticTrace, TraceConfig, TraceFlow};
+pub use workload::{FlowArrival, MiceWorkload};

@@ -1,0 +1,144 @@
+//! Dynamic flow workloads: Poisson arrivals with heavy-tailed sizes, for
+//! flow-completion-time studies (the "new flows can grow" property of the
+//! paper's Example 1, quantified).
+
+use cebinae_sim::{Duration, Time};
+use rand::Rng;
+
+use crate::dist::{bounded_pareto, exponential};
+
+/// One short flow to inject.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowArrival {
+    pub start: Time,
+    pub bytes: u64,
+}
+
+/// Parameters for a Poisson/Pareto mice workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MiceWorkload {
+    /// Mean arrival rate, flows per second.
+    pub arrivals_per_sec: f64,
+    /// Flow size bounds (bounded Pareto, tail index `alpha`).
+    pub min_bytes: u64,
+    pub max_bytes: u64,
+    pub alpha: f64,
+    /// Arrival window.
+    pub from: Time,
+    pub until: Time,
+}
+
+impl Default for MiceWorkload {
+    fn default() -> Self {
+        MiceWorkload {
+            arrivals_per_sec: 10.0,
+            // Web-like mice: 10 KB .. 1 MB, heavy-tailed.
+            min_bytes: 10_000,
+            max_bytes: 1_000_000,
+            alpha: 1.2,
+            from: Time::from_secs(1),
+            until: Time::from_secs(10),
+        }
+    }
+}
+
+impl MiceWorkload {
+    /// Materialize the arrival sequence.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Vec<FlowArrival> {
+        assert!(self.until > self.from);
+        assert!(self.arrivals_per_sec > 0.0);
+        let mut out = Vec::new();
+        let mut t = self.from;
+        loop {
+            let gap = exponential(rng, 1.0 / self.arrivals_per_sec);
+            t = t + Duration::from_secs_f64(gap);
+            if t >= self.until {
+                break;
+            }
+            let bytes = bounded_pareto(
+                rng,
+                self.min_bytes as f64,
+                self.max_bytes as f64,
+                self.alpha,
+            ) as u64;
+            out.push(FlowArrival { start: t, bytes });
+        }
+        out
+    }
+
+    /// Expected offered load in bits/sec (mean size × arrival rate × 8).
+    pub fn expected_load_bps(&self) -> f64 {
+        // Bounded Pareto mean.
+        let (l, h, a) = (self.min_bytes as f64, self.max_bytes as f64, self.alpha);
+        let mean = if (a - 1.0).abs() < 1e-9 {
+            (h / l).ln() * l * h / (h - l)
+        } else {
+            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+                * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+        };
+        mean * self.arrivals_per_sec * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cebinae_sim::rng::experiment_rng;
+
+    #[test]
+    fn arrivals_respect_window_and_rate() {
+        let mut rng = experiment_rng("mice", 0);
+        let w = MiceWorkload {
+            arrivals_per_sec: 100.0,
+            from: Time::from_secs(2),
+            until: Time::from_secs(12),
+            ..MiceWorkload::default()
+        };
+        let flows = w.generate(&mut rng);
+        // ~1000 expected; Poisson stddev ~32.
+        assert!((850..1150).contains(&flows.len()), "{}", flows.len());
+        for f in &flows {
+            assert!(f.start >= w.from && f.start < w.until);
+            assert!((w.min_bytes..=w.max_bytes).contains(&f.bytes));
+        }
+        // Sorted by construction.
+        for pair in flows.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let mut rng = experiment_rng("mice", 1);
+        let w = MiceWorkload {
+            arrivals_per_sec: 500.0,
+            ..MiceWorkload::default()
+        };
+        let flows = w.generate(&mut rng);
+        let mut sizes: Vec<u64> = flows.iter().map(|f| f.bytes).collect();
+        sizes.sort();
+        let median = sizes[sizes.len() / 2] as f64;
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        assert!(mean > 1.5 * median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn expected_load_is_sane() {
+        let w = MiceWorkload::default();
+        let bps = w.expected_load_bps();
+        // 10 flows/s of 10KB..1MB pareto(1.2) mice: mean ≈ 40-60 KB →
+        // ~3-5 Mbps.
+        assert!(bps > 1e6 && bps < 2e7, "{bps}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = MiceWorkload::default().generate(&mut experiment_rng("m", 7));
+        let b = MiceWorkload::default().generate(&mut experiment_rng("m", 7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.bytes, y.bytes);
+        }
+    }
+}

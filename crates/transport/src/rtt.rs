@@ -1,0 +1,136 @@
+//! RTT estimation and retransmission timeout per RFC 6298.
+
+use cebinae_sim::Duration;
+
+/// Smoothed RTT estimator (RFC 6298) with configurable RTO clamps.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    /// Minimum RTT ever observed (used by Vegas/BBR as the propagation
+    /// delay estimate).
+    min_rtt: Option<Duration>,
+    /// Latest raw sample.
+    latest: Option<Duration>,
+    rto_min: Duration,
+    rto_max: Duration,
+}
+
+impl RttEstimator {
+    pub fn new(rto_min: Duration, rto_max: Duration) -> RttEstimator {
+        RttEstimator {
+            srtt: None,
+            rttvar: Duration::ZERO,
+            min_rtt: None,
+            latest: None,
+            rto_min,
+            rto_max,
+        }
+    }
+
+    /// Feed a new RTT sample (only from unambiguous, non-retransmitted
+    /// packets — Karn's algorithm is enforced by the caller).
+    pub fn on_sample(&mut self, rtt: Duration) {
+        self.latest = Some(rtt);
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) => m.min(rtt),
+            None => rtt,
+        });
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+                //           srtt   = 7/8 srtt   + 1/8 rtt
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = Duration((3 * self.rttvar.0 + delta.0) / 4);
+                self.srtt = Some(Duration((7 * srtt.0 + rtt.0) / 8));
+            }
+        }
+    }
+
+    /// Current retransmission timeout: `srtt + 4·rttvar`, clamped.
+    pub fn rto(&self) -> Duration {
+        let raw = match self.srtt {
+            Some(srtt) => srtt + self.rttvar * 4,
+            // RFC 6298 initial RTO is 1s; we keep it within the clamps.
+            None => Duration::from_secs(1),
+        };
+        raw.max(self.rto_min).min(self.rto_max)
+    }
+
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    pub fn min_rtt(&self) -> Option<Duration> {
+        self.min_rtt
+    }
+
+    pub fn latest(&self) -> Option<Duration> {
+        self.latest
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(Duration::from_millis(200), Duration::from_secs(60))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(), Duration::from_secs(1));
+        e.on_sample(Duration::from_millis(100));
+        assert_eq!(e.srtt(), Some(Duration::from_millis(100)));
+        // rto = 100ms + 4*50ms = 300ms
+        assert_eq!(e.rto(), Duration::from_millis(300));
+        assert_eq!(e.min_rtt(), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn steady_samples_converge_to_min_rto() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.on_sample(Duration::from_millis(10));
+        }
+        // rttvar decays toward 0; rto clamps at rto_min.
+        assert_eq!(e.rto(), Duration::from_millis(200));
+        assert_eq!(e.srtt(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn min_rtt_tracks_minimum() {
+        let mut e = RttEstimator::default();
+        e.on_sample(Duration::from_millis(50));
+        e.on_sample(Duration::from_millis(20));
+        e.on_sample(Duration::from_millis(80));
+        assert_eq!(e.min_rtt(), Some(Duration::from_millis(20)));
+        assert_eq!(e.latest(), Some(Duration::from_millis(80)));
+    }
+
+    #[test]
+    fn variance_grows_with_jitter() {
+        let mut smooth = RttEstimator::default();
+        let mut jitter = RttEstimator::default();
+        for i in 0..50 {
+            smooth.on_sample(Duration::from_millis(100));
+            jitter.on_sample(Duration::from_millis(if i % 2 == 0 { 50 } else { 150 }));
+        }
+        assert!(jitter.rto() > smooth.rto());
+    }
+
+    #[test]
+    fn rto_respects_max_clamp() {
+        let mut e = RttEstimator::new(Duration::from_millis(1), Duration::from_millis(500));
+        e.on_sample(Duration::from_secs(10));
+        assert_eq!(e.rto(), Duration::from_millis(500));
+    }
+}

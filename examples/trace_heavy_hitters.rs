@@ -1,0 +1,71 @@
+//! Heavy-hitter detection on a synthetic ISP backbone trace (the paper's
+//! §5.5 / Figure 13 setting): how accurately the passive multi-stage cache
+//! identifies the bottlenecked (⊤) flows among hundreds of thousands of
+//! flows per minute, as a function of its geometry.
+//!
+//! ```sh
+//! cargo run --release --example trace_heavy_hitters [stages] [slots]
+//! ```
+
+use cebinae::HeavyHitterCache;
+use cebinae_repro::prelude::*;
+use cebinae_repro::sim::rng::experiment_rng;
+use cebinae_repro::traffic::{interval_packets, SyntheticTrace, TraceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let stages: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(2);
+    let slots: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(2048);
+    let interval = Duration::from_millis(100);
+
+    let mut rng = experiment_rng("trace-example", 0);
+    let trace = SyntheticTrace::generate(
+        TraceConfig {
+            duration: Duration::from_secs(2),
+            aggregate_rate_bps: 10e9,
+            flows_per_minute: 400_000.0,
+            ..TraceConfig::default()
+        },
+        &mut rng,
+    );
+    println!(
+        "10 Gbps synthetic backbone trace: {} flows over 2 s; cache {stages}x{slots}\n",
+        trace.flows.len()
+    );
+
+    let mut cache = HeavyHitterCache::new(stages, slots, 42);
+    let mut t = Time::ZERO;
+    let mut interval_id = 0;
+    println!("interval  active-flows  cache-entries  top-truth  top-detected  missed");
+    while t + interval <= Time::ZERO + Duration::from_secs(2) {
+        let to = t + interval;
+        let truth = trace.interval_flow_bytes(t, to);
+        for (flow, size) in interval_packets(&truth, &mut rng) {
+            cache.update(flow, size as u64);
+        }
+        let detected = cache.poll_and_reset();
+        let top = |counts: &[(FlowId, u64)]| -> Vec<FlowId> {
+            let max = counts.iter().map(|&(_, b)| b).max().unwrap_or(0);
+            counts
+                .iter()
+                .filter(|&&(_, b)| b as f64 >= max as f64 * 0.99)
+                .map(|&(f, _)| f)
+                .collect()
+        };
+        let truth_top = top(&truth);
+        let det_top = top(&detected);
+        let missed = truth_top.iter().filter(|f| !det_top.contains(f)).count();
+        println!(
+            "{interval_id:8}  {:12}  {:13}  {:9}  {:12}  {missed:6}",
+            truth.len(),
+            detected.len(),
+            truth_top.len(),
+            det_top.len()
+        );
+        t = to;
+        interval_id += 1;
+    }
+    println!("\nA miss means a top flow lost every hash slot to earlier flows in all");
+    println!("{stages} stage(s); the paper's 2x2048 default keeps this rare even at");
+    println!(">400k flows/min, and misses only delay taxation by one round.");
+}

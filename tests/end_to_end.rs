@@ -1,0 +1,165 @@
+//! End-to-end integration tests: the paper's headline claims, verified on
+//! miniature (fast) versions of its scenarios.
+
+use cebinae_repro::prelude::*;
+
+/// Mini Figure 7: a NewReno hog against a Vegas herd on a scaled-down
+/// link. The core claim of the paper: Cebinae pushes the allocation toward
+/// fairness where FIFO lets the hog dominate, at near-full throughput.
+fn herd_vs_hog(discipline: Discipline, secs: u64) -> (f64, f64, Vec<f64>) {
+    let mut flows: Vec<_> = (0..8).map(|_| DumbbellFlow::new(CcKind::Vegas, 40)).collect();
+    flows.push(DumbbellFlow::new(CcKind::NewReno, 40));
+    let mut p = ScenarioParams::new(50_000_000, 420, discipline);
+    p.duration = Duration::from_secs(secs);
+    p.cebinae_p = Some(1);
+    let (cfg, bneck) = dumbbell(&flows, &p);
+    let r = Simulation::new(cfg).run();
+    let warm = Time::from_secs(secs / 10);
+    let g = r.goodputs_bps(warm);
+    (r.link_throughput_bps(bneck, warm), jfi(&g), g)
+}
+
+#[test]
+fn cebinae_mitigates_aggressive_flow_starvation() {
+    let (_, jfi_fifo, g_fifo) = herd_vs_hog(Discipline::Fifo, 20);
+    let (_, jfi_ceb, g_ceb) = herd_vs_hog(Discipline::Cebinae, 20);
+    assert!(
+        jfi_fifo < 0.5,
+        "FIFO must exhibit the unfairness being fixed: {jfi_fifo} ({g_fifo:?})"
+    );
+    assert!(
+        jfi_ceb > 0.9,
+        "Cebinae must mitigate it: {jfi_ceb} ({g_ceb:?})"
+    );
+    // The hog specifically must shrink substantially.
+    assert!(
+        g_ceb[8] < g_fifo[8] / 2.0,
+        "hog: FIFO {:.1}M vs Cebinae {:.1}M",
+        g_fifo[8] / 1e6,
+        g_ceb[8] / 1e6
+    );
+}
+
+#[test]
+fn cebinae_preserves_efficiency() {
+    let (tput_fifo, _, _) = herd_vs_hog(Discipline::Fifo, 20);
+    let (tput_ceb, _, _) = herd_vs_hog(Discipline::Cebinae, 20);
+    assert!(
+        tput_ceb > 0.90 * tput_fifo,
+        "Cebinae throughput {:.1}M must stay within 10% of FIFO {:.1}M",
+        tput_ceb / 1e6,
+        tput_fifo / 1e6
+    );
+}
+
+#[test]
+fn fq_codel_baseline_is_fair() {
+    let (_, jfi_fq, _) = herd_vs_hog(Discipline::FqCoDel, 20);
+    assert!(jfi_fq > 0.95, "ideal per-flow FQ must be fair: {jfi_fq}");
+}
+
+#[test]
+fn full_simulation_is_deterministic() {
+    let run = || {
+        let flows = vec![
+            DumbbellFlow::new(CcKind::Cubic, 20),
+            DumbbellFlow::new(CcKind::Vegas, 30),
+            DumbbellFlow::new(CcKind::Bbr, 40),
+        ];
+        let mut p = ScenarioParams::new(20_000_000, 200, Discipline::Cebinae);
+        p.duration = Duration::from_secs(8);
+        p.seed = 42;
+        p.cebinae_p = Some(1);
+        let (cfg, _) = dumbbell(&flows, &p);
+        Simulation::new(cfg).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(
+        a.link_stats.iter().map(|s| s.tx_bytes).collect::<Vec<_>>(),
+        b.link_stats.iter().map(|s| s.tx_bytes).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn every_cca_survives_a_cebinae_bottleneck() {
+    for cc in CcKind::ALL {
+        let flows = vec![DumbbellFlow::new(cc, 20), DumbbellFlow::new(cc, 20)];
+        let mut p = ScenarioParams::new(20_000_000, 100, Discipline::Cebinae);
+        p.duration = Duration::from_secs(6);
+        p.cebinae_p = Some(1);
+        let (cfg, bneck) = dumbbell(&flows, &p);
+        let r = Simulation::new(cfg).run();
+        let tput = r.link_throughput_bps(bneck, Time::from_secs(1));
+        assert!(
+            tput > 10e6,
+            "{}: two flows must load a 20 Mbps Cebinae link, got {:.1}M",
+            cc.label(),
+            tput / 1e6
+        );
+    }
+}
+
+#[test]
+fn packet_conservation_across_all_links() {
+    let mut flows: Vec<_> = (0..4).map(|_| DumbbellFlow::new(CcKind::Cubic, 25)).collect();
+    flows.push(DumbbellFlow::new(CcKind::Bbr, 25));
+    let mut p = ScenarioParams::new(30_000_000, 150, Discipline::Cebinae);
+    p.duration = Duration::from_secs(6);
+    p.cebinae_p = Some(1);
+    let (cfg, _) = dumbbell(&flows, &p);
+    let r = Simulation::new(cfg).run();
+    for (i, s) in r.link_stats.iter().enumerate() {
+        // Whatever was enqueued was either transmitted or is still queued
+        // (queues may hold packets at the end).
+        assert!(
+            s.enq_bytes >= s.tx_bytes,
+            "link {i}: tx {} > enq {}",
+            s.tx_bytes,
+            s.enq_bytes
+        );
+        assert!(
+            s.enq_bytes - s.tx_bytes < 10_000_000,
+            "link {i}: implausible residual queue"
+        );
+    }
+}
+
+#[test]
+fn new_flow_can_enter_a_saturated_cebinae_link() {
+    // Paper Example 1: Cebinae keeps headroom so newcomers can grow.
+    let flows = vec![
+        DumbbellFlow::new(CcKind::Cubic, 20),
+        DumbbellFlow::new(CcKind::Cubic, 20).starting_at(Time::from_secs(8)),
+    ];
+    let mut p = ScenarioParams::new(20_000_000, 100, Discipline::Cebinae);
+    p.duration = Duration::from_secs(20);
+    p.cebinae_p = Some(1);
+    let (cfg, _) = dumbbell(&flows, &p);
+    let r = Simulation::new(cfg).run();
+    // Late flow's goodput over its own lifetime.
+    let late = r.goodput.average_rates(Time::from_secs(10))[1] * 8.0;
+    assert!(
+        late > 4e6,
+        "latecomer must reach a meaningful share: {:.2}M of 20M",
+        late / 1e6
+    );
+}
+
+#[test]
+fn cebinae_never_starves_below_fifo_floor() {
+    // "Never make unfairness worse": the worst-off flow under Cebinae must
+    // not end up dramatically below the worst-off flow under FIFO.
+    let (_, _, g_fifo) = herd_vs_hog(Discipline::Fifo, 20);
+    let (_, _, g_ceb) = herd_vs_hog(Discipline::Cebinae, 20);
+    let min_fifo = g_fifo.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min_ceb = g_ceb.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        min_ceb > min_fifo / 2.0,
+        "worst-off flow: FIFO {:.2}M vs Cebinae {:.2}M",
+        min_fifo / 1e6,
+        min_ceb / 1e6
+    );
+}

@@ -1,0 +1,103 @@
+//! Robustness and fault-injection integration tests, in the spirit of the
+//! smoltcp examples' `--drop-chance`: the full stack (TCP + qdiscs +
+//! Cebinae control plane) must stay correct under adverse conditions.
+
+use cebinae_repro::prelude::*;
+use proptest::prelude::*;
+
+fn run_mixed(discipline: Discipline, fault_drop: f64, seed: u64, secs: u64) -> SimResult {
+    let flows = vec![
+        DumbbellFlow::new(CcKind::NewReno, 20),
+        DumbbellFlow::new(CcKind::Cubic, 30),
+        DumbbellFlow::new(CcKind::Vegas, 40),
+        DumbbellFlow::new(CcKind::Bbr, 25),
+        DumbbellFlow::new(CcKind::Bic, 35),
+    ];
+    let mut p = ScenarioParams::new(25_000_000, 150, discipline);
+    p.duration = Duration::from_secs(secs);
+    p.seed = seed;
+    p.cebinae_p = Some(1);
+    let (mut cfg, _) = dumbbell(&flows, &p);
+    cfg.fault_drop = fault_drop;
+    Simulation::new(cfg).run()
+}
+
+#[test]
+fn all_ccas_coexist_under_cebinae_with_random_loss() {
+    let r = run_mixed(Discipline::Cebinae, 0.005, 7, 10);
+    for (i, &d) in r.delivered.iter().enumerate() {
+        assert!(
+            d > 200_000,
+            "flow {i} starved under 0.5% random loss: {d} bytes"
+        );
+    }
+}
+
+#[test]
+fn heavy_loss_degrades_gracefully() {
+    let clean = run_mixed(Discipline::Cebinae, 0.0, 7, 10);
+    let lossy = run_mixed(Discipline::Cebinae, 0.05, 7, 10);
+    let sum = |r: &SimResult| r.delivered.iter().sum::<u64>();
+    assert!(sum(&lossy) > 0);
+    assert!(
+        sum(&lossy) < sum(&clean),
+        "5% loss must reduce delivery: {} vs {}",
+        sum(&lossy),
+        sum(&clean)
+    );
+}
+
+#[test]
+fn ecn_enabled_endpoints_work_through_every_discipline() {
+    for d in [Discipline::Fifo, Discipline::FqCoDel, Discipline::Cebinae] {
+        let flows = vec![
+            DumbbellFlow::new(CcKind::NewReno, 20),
+            DumbbellFlow::new(CcKind::NewReno, 20),
+        ];
+        let mut p = ScenarioParams::new(20_000_000, 100, d);
+        p.duration = Duration::from_secs(6);
+        p.cebinae_p = Some(1);
+        let (mut cfg, _) = dumbbell(&flows, &p);
+        for f in &mut cfg.flows {
+            f.tcp.ecn = true;
+        }
+        let r = Simulation::new(cfg).run();
+        let total: u64 = r.delivered.iter().sum();
+        assert!(total > 5_000_000, "{}: delivered {total}", d.label());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random CCA mixes, RTTs, and disciplines: the engine never panics,
+    /// conserves bytes, and delivers something.
+    #[test]
+    fn random_scenarios_complete(
+        seed in 0u64..1000,
+        n_flows in 2usize..8,
+        d_idx in 0usize..3,
+        rtt_base in 10u64..80,
+    ) {
+        let disciplines = [Discipline::Fifo, Discipline::FqCoDel, Discipline::Cebinae];
+        let flows: Vec<_> = (0..n_flows)
+            .map(|i| {
+                DumbbellFlow::new(
+                    CcKind::ALL[(seed as usize + i) % 5],
+                    rtt_base + (i as u64 * 7) % 50,
+                )
+            })
+            .collect();
+        let mut p = ScenarioParams::new(15_000_000, 120, disciplines[d_idx]);
+        p.duration = Duration::from_secs(4);
+        p.seed = seed;
+        p.cebinae_p = Some(1);
+        let (cfg, _) = dumbbell(&flows, &p);
+        let r = Simulation::new(cfg).run();
+        let total: u64 = r.delivered.iter().sum();
+        prop_assert!(total > 500_000, "barely any delivery: {}", total);
+        for s in &r.link_stats {
+            prop_assert!(s.enq_bytes >= s.tx_bytes);
+        }
+    }
+}
