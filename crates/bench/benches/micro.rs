@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks of the simulator's hot paths: these bound
+//! Std-only micro-benchmarks of the simulator's hot paths: these bound
 //! how much simulated traffic the reproduction can push per wall-clock
 //! second, and compare the per-packet costs of the four disciplines.
+//!
+//! Run with `cargo bench --bench micro`. Each benchmark reports the
+//! median per-iteration time over a fixed number of timed samples; no
+//! external harness is required, so the bench builds fully offline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use cebinae::{CebinaeConfig, CebinaeQdisc, GroupLbf, HeavyHitterCache, RoundClock};
 use cebinae_engine::{dumbbell, Discipline, DumbbellFlow, ScenarioParams, Simulation};
@@ -12,19 +17,37 @@ use cebinae_net::{BufferConfig, FifoQdisc, FlowId, Packet, Qdisc, MSS};
 use cebinae_sim::{Duration, EventQueue, Time};
 use cebinae_transport::CcKind;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(Time(i * 37 % 1000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc ^= e;
-            }
-            black_box(acc)
+/// Time `f` for `samples` timed runs after `warmup` untimed ones and print
+/// the median per-run wall time. Returns the median in nanoseconds so
+/// callers could assert coarse regressions if they ever want to.
+fn bench<F: FnMut()>(name: &str, warmup: u32, samples: u32, mut f: F) -> u128 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
         })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!("{name:<40} median {median:>12} ns ({samples} samples)");
+    median
+}
+
+fn bench_event_queue() {
+    bench("event_queue_push_pop_1k", 3, 25, || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(Time(i * 37 % 1000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc ^= e;
+        }
+        black_box(acc);
     });
 }
 
@@ -32,117 +55,96 @@ fn pkt(i: usize) -> Packet {
     Packet::data(FlowId((i % 64) as u32), i as u64, MSS, false, Time(i as u64 * 1000))
 }
 
-fn bench_qdiscs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("qdisc_enq_deq_1k");
-    g.bench_function("fifo", |b| {
-        b.iter(|| {
-            let mut q = FifoQdisc::new(BufferConfig::mtus(2000));
-            for i in 0..1000 {
-                let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
-            }
-            while q.dequeue(Time(2_000_000)).is_some() {}
-        })
+fn bench_qdiscs() {
+    bench("qdisc_enq_deq_1k/fifo", 3, 25, || {
+        let mut q = FifoQdisc::new(BufferConfig::mtus(2000));
+        for i in 0..1000 {
+            let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
+        }
+        while q.dequeue(Time(2_000_000)).is_some() {}
     });
-    g.bench_function("fq_codel", |b| {
-        b.iter(|| {
-            let mut q = FqCoDelQdisc::new(FqCoDelConfig::ideal_with_limit(2000 * 1500));
-            for i in 0..1000 {
-                let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
-            }
-            while q.dequeue(Time(2_000_000)).is_some() {}
-        })
+    bench("qdisc_enq_deq_1k/fq_codel", 3, 25, || {
+        let mut q = FqCoDelQdisc::new(FqCoDelConfig::ideal_with_limit(2000 * 1500));
+        for i in 0..1000 {
+            let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
+        }
+        while q.dequeue(Time(2_000_000)).is_some() {}
     });
-    g.bench_function("afq", |b| {
-        b.iter(|| {
-            let mut q = AfqQdisc::new(AfqConfig {
-                limit_bytes: 2000 * 1500,
-                ..AfqConfig::default()
-            });
-            for i in 0..1000 {
-                let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
-            }
-            while q.dequeue(Time(2_000_000)).is_some() {}
-        })
+    bench("qdisc_enq_deq_1k/afq", 3, 25, || {
+        let mut q = AfqQdisc::new(AfqConfig {
+            limit_bytes: 2000 * 1500,
+            ..AfqConfig::default()
+        });
+        for i in 0..1000 {
+            let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
+        }
+        while q.dequeue(Time(2_000_000)).is_some() {}
     });
-    g.bench_function("cebinae", |b| {
-        let cfg = CebinaeConfig::for_link(
-            1_000_000_000,
-            BufferConfig::mtus(2000),
-            Duration::from_millis(50),
-        );
-        b.iter(|| {
-            let mut q = CebinaeQdisc::new(cfg.clone(), 1_000_000_000, 1);
-            q.activate(Time::ZERO);
-            for i in 0..1000 {
-                let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
-            }
-            while q.dequeue(Time(2_000_000)).is_some() {}
-        })
-    });
-    g.finish();
-}
-
-fn bench_lbf(c: &mut Criterion) {
-    c.bench_function("lbf_classify_1k", |b| {
-        let clock = RoundClock::new(Duration(1 << 26), Duration(1 << 17), Time::ZERO);
-        b.iter(|| {
-            let mut g = GroupLbf::new(1e9);
-            for _ in 0..1000 {
-                black_box(g.classify(1500, &clock, 0));
-            }
-        })
+    let cfg = CebinaeConfig::for_link(
+        1_000_000_000,
+        BufferConfig::mtus(2000),
+        Duration::from_millis(50),
+    );
+    bench("qdisc_enq_deq_1k/cebinae", 3, 25, || {
+        let mut q = CebinaeQdisc::new(cfg.clone(), 1_000_000_000, 1);
+        q.activate(Time::ZERO);
+        for i in 0..1000 {
+            let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
+        }
+        while q.dequeue(Time(2_000_000)).is_some() {}
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("hh_cache_update_10k", |b| {
-        b.iter(|| {
-            let mut cache = HeavyHitterCache::new(2, 2048, 7);
-            for i in 0..cebinae_bench::CACHE_FLOWS {
-                cache.update(FlowId(i % 3000), 1500);
-            }
-            black_box(cache.poll_and_reset().len())
-        })
+fn bench_lbf() {
+    let clock = RoundClock::new(Duration(1 << 26), Duration(1 << 17), Time::ZERO);
+    bench("lbf_classify_1k", 3, 25, || {
+        let mut g = GroupLbf::new(1e9);
+        for _ in 0..1000 {
+            black_box(g.classify(1500, &clock, 0));
+        }
     });
 }
 
-fn bench_water_filling(c: &mut Criterion) {
-    c.bench_function("water_filling_100_flows", |b| {
-        let caps: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
-        let flows: Vec<MaxMinFlow> = (0..100)
-            .map(|i| MaxMinFlow::through(vec![i % 10, (i + 3) % 10]))
-            .collect();
-        b.iter(|| black_box(water_filling(&caps, &flows)))
+fn bench_cache() {
+    bench("hh_cache_update_10k", 3, 25, || {
+        let mut cache = HeavyHitterCache::new(2, 2048, 7);
+        for i in 0..cebinae_bench::CACHE_FLOWS {
+            cache.update(FlowId(i % 3000), 1500);
+        }
+        black_box(cache.poll_and_reset().len());
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_1s_10mbps_2flows");
-    g.sample_size(10);
+fn bench_water_filling() {
+    let caps: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
+    let flows: Vec<MaxMinFlow> = (0..100)
+        .map(|i| MaxMinFlow::through(vec![i % 10, (i + 3) % 10]))
+        .collect();
+    bench("water_filling_100_flows", 3, 25, || {
+        black_box(water_filling(&caps, &flows));
+    });
+}
+
+fn bench_end_to_end() {
     for d in [Discipline::Fifo, Discipline::FqCoDel, Discipline::Cebinae] {
-        g.bench_function(d.label(), |b| {
-            b.iter(|| {
-                let flows = vec![
-                    DumbbellFlow::new(CcKind::NewReno, 20),
-                    DumbbellFlow::new(CcKind::Cubic, 20),
-                ];
-                let mut p = ScenarioParams::new(10_000_000, 100, d);
-                p.duration = Duration::from_secs(1);
-                let (cfg, _) = dumbbell(&flows, &p);
-                black_box(Simulation::new(cfg).run().events_processed)
-            })
+        bench(&format!("sim_1s_10mbps_2flows/{}", d.label()), 1, 10, || {
+            let flows = vec![
+                DumbbellFlow::new(CcKind::NewReno, 20),
+                DumbbellFlow::new(CcKind::Cubic, 20),
+            ];
+            let mut p = ScenarioParams::new(10_000_000, 100, d);
+            p.duration = Duration::from_secs(1);
+            let (cfg, _) = dumbbell(&flows, &p);
+            black_box(Simulation::new(cfg).run().events_processed);
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_qdiscs,
-    bench_lbf,
-    bench_cache,
-    bench_water_filling,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_qdiscs();
+    bench_lbf();
+    bench_cache();
+    bench_water_filling();
+    bench_end_to_end();
+}

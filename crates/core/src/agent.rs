@@ -2,7 +2,7 @@
 //! 8-28), expressed as a pure function so it can be tested independently of
 //! the data-plane state machine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cebinae_net::FlowId;
 use cebinae_sim::Duration;
@@ -21,7 +21,7 @@ pub struct RecomputeInput<'a> {
     pub window: Duration,
     /// Per-flow byte counts aggregated from the heavy-hitter cache polls
     /// during the window.
-    pub flow_bytes: &'a HashMap<FlowId, u64>,
+    pub flow_bytes: &'a BTreeMap<FlowId, u64>,
 }
 
 /// The CP's decision: saturation status, the bottlenecked (⊤) set, and the
@@ -78,7 +78,8 @@ pub fn recompute(cfg: &CebinaeConfig, input: &RecomputeInput<'_>) -> RecomputeDe
             bottleneck_bytes += b;
         }
     }
-    // Deterministic output ordering (HashMap iteration is not).
+    // `flow_bytes` is a BTreeMap, so iteration (and hence `top`) is
+    // already FlowId-ordered; the sort documents and enforces the contract.
     top.sort();
     let top_flows: Vec<FlowId> = top.iter().map(|&(f, _)| f).collect();
     let top_flow_bytes: Vec<u64> = top.iter().map(|&(_, b)| b).collect();
@@ -111,7 +112,7 @@ mod tests {
         )
     }
 
-    fn flows(v: &[(u32, u64)]) -> HashMap<FlowId, u64> {
+    fn flows(v: &[(u32, u64)]) -> BTreeMap<FlowId, u64> {
         v.iter().map(|&(f, b)| (FlowId(f), b)).collect()
     }
 
@@ -232,7 +233,7 @@ mod tests {
     #[test]
     fn empty_cache_never_taxes() {
         let cfg = cfg();
-        let fb = HashMap::new();
+        let fb = BTreeMap::new();
         let d = recompute(
             &cfg,
             &RecomputeInput {

@@ -70,23 +70,23 @@ pub use lbf::{GroupLbf, LbfVerdict, RoundClock};
 pub use qdisc::{CebinaeQdisc, CebinaeXstats};
 pub use resources::{model_usage, scalability_point, ResourceUsage, SwitchProfile};
 
+// Property tests driven by the workspace's seeded generator (24 random
+// cases per property, reproducible from the case index alone).
 #[cfg(test)]
 mod proptests {
     use super::*;
     use cebinae_net::{BufferConfig, FlowId, Packet, Qdisc, MSS};
+    use cebinae_sim::rng::DetRng;
     use cebinae_sim::{Duration, Time};
-    use proptest::prelude::*;
     use std::collections::HashMap;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Conservation and buffer invariants hold for arbitrary arrival
-        /// patterns interleaved with the control schedule.
-        #[test]
-        fn qdisc_invariants_under_random_load(
-            ops in proptest::collection::vec((0u8..4, 0u32..6), 50..600),
-        ) {
+    /// Conservation and buffer invariants hold for arbitrary arrival
+    /// patterns interleaved with the control schedule.
+    #[test]
+    fn qdisc_invariants_under_random_load() {
+        for case in 0..24u64 {
+            let mut rng = DetRng::seed_from_u64(0xceb_0001 ^ case);
+            let n_ops = rng.gen_range_usize(50, 600);
             let rate = 100_000_000u64;
             let cfg = CebinaeConfig::for_link(
                 rate,
@@ -98,7 +98,9 @@ mod proptests {
             let mut next_ctl = q.activate(Time::ZERO).unwrap();
             let mut now = Time::ZERO;
             let mut seq = 0u64;
-            for (op, flow) in ops {
+            for _ in 0..n_ops {
+                let op = rng.gen_range_u64(0, 4) as u8;
+                let flow = rng.gen_range_u64(0, 6) as u32;
                 now = now + Duration::from_micros(200);
                 while now >= next_ctl {
                     next_ctl = q.control(next_ctl).unwrap();
@@ -115,18 +117,22 @@ mod proptests {
                         let _ = q.dequeue(now);
                     }
                 }
-                prop_assert!(q.byte_len() <= buffer);
+                assert!(q.byte_len() <= buffer, "case {case}");
                 let s = q.stats();
-                prop_assert_eq!(s.enq_bytes, s.tx_bytes + q.byte_len());
+                assert_eq!(s.enq_bytes, s.tx_bytes + q.byte_len(), "case {case}");
             }
         }
+    }
 
-        /// The LBF never reorders packets *within a flow group*: dequeue
-        /// order of a single flow's packets preserves enqueue order.
-        #[test]
-        fn no_intra_flow_reordering(
-            bursts in proptest::collection::vec(1usize..30, 4..40),
-        ) {
+    /// The LBF never reorders packets *within a flow group*: dequeue
+    /// order of a single flow's packets preserves enqueue order.
+    #[test]
+    fn no_intra_flow_reordering() {
+        for case in 0..24u64 {
+            let mut rng = DetRng::seed_from_u64(0xceb_0002 ^ case);
+            let n_bursts = rng.gen_range_usize(4, 40);
+            let bursts: Vec<usize> =
+                (0..n_bursts).map(|_| rng.gen_range_usize(1, 30)).collect();
             let rate = 100_000_000u64;
             let cfg = CebinaeConfig::for_link(
                 rate,
@@ -152,9 +158,12 @@ mod proptests {
                     if let Some(p) = q.dequeue(now) {
                         if let cebinae_net::PacketKind::Data { seq: s, .. } = p.kind {
                             let last = last_seen.entry(p.flow.0).or_insert(0);
-                            prop_assert!(
+                            assert!(
                                 s >= *last,
-                                "flow {} reordered: {} after {}", p.flow.0, s, last
+                                "case {case}: flow {} reordered: {} after {}",
+                                p.flow.0,
+                                s,
+                                last
                             );
                             *last = s;
                         }
@@ -162,12 +171,16 @@ mod proptests {
                 }
             }
         }
+    }
 
-        /// Per burst round, total admission (head + tail) never exceeds two
-        /// rounds of line rate plus the vdT catch-up allowance — the §4.3
-        /// worst-case burst bound that guarantees queue drain.
-        #[test]
-        fn admission_bounded_per_round(load_factor in 1.0f64..4.0) {
+    /// Per burst round, total admission (head + tail) never exceeds two
+    /// rounds of line rate plus the vdT catch-up allowance — the §4.3
+    /// worst-case burst bound that guarantees queue drain.
+    #[test]
+    fn admission_bounded_per_round() {
+        for case in 0..24u64 {
+            let mut rng = DetRng::seed_from_u64(0xceb_0003 ^ case);
+            let load_factor = rng.gen_range_f64(1.0, 4.0);
             let rate = 100_000_000u64;
             let cfg = CebinaeConfig::for_link(
                 rate,
@@ -196,9 +209,11 @@ mod proptests {
                 }
                 let bound =
                     2.0 * line_per_round + (rate as f64 / 8.0 * vdt.as_secs_f64()) + 3000.0;
-                prop_assert!(
+                assert!(
                     (admitted * MSS as u64) as f64 <= bound,
-                    "admitted {} bytes > bound {}", admitted * MSS as u64, bound
+                    "case {case}: admitted {} bytes > bound {}",
+                    admitted * MSS as u64,
+                    bound
                 );
                 // Drain and rotate.
                 while q.dequeue(next_ctl).is_some() {}

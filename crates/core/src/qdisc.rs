@@ -25,7 +25,7 @@
 //! groups, with the aggregate filter still tracked in the background so the
 //! next phase flip is atomic.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use cebinae_net::{DropReason, FlowId, Packet, Qdisc, QdiscStats};
 use cebinae_sim::Time;
@@ -79,9 +79,10 @@ pub struct CebinaeQdisc {
     total_grp: GroupLbf,
     top_grp: GroupLbf,
     bottom_grp: GroupLbf,
-    /// Per-flow ⊤ filters (extension mode, cfg.per_flow_top).
-    top_flow_grps: HashMap<FlowId, GroupLbf>,
-    top_flows: HashSet<FlowId>,
+    /// Per-flow ⊤ filters (extension mode, cfg.per_flow_top). Ordered maps
+    /// keep every control-plane sweep deterministic (verify rule R3).
+    top_flow_grps: BTreeMap<FlowId, GroupLbf>,
+    top_flows: BTreeSet<FlowId>,
     saturated: bool,
 
     cache: HeavyHitterCache,
@@ -90,7 +91,7 @@ pub struct CebinaeQdisc {
     /// CP's previous sample of `port_tx_bytes`.
     cp_last_port_tx: u64,
     /// CP aggregation of cache polls over the current window.
-    cp_flow_bytes: HashMap<FlowId, u64>,
+    cp_flow_bytes: BTreeMap<FlowId, u64>,
 
     rotations: u64,
     next_phase: CtlPhase,
@@ -109,6 +110,10 @@ pub struct CebinaeQdisc {
     /// down. Cleared on any unsaturated phase.
     last_top_rate_per_flow: Option<f64>,
 
+    /// `CEBINAE_DEBUG` presence, read once at construction: recompute runs
+    /// in the hot control path and must not touch the environment (R4).
+    debug: bool,
+
     stats: QdiscStats,
     xstats: CebinaeXstats,
 }
@@ -125,13 +130,15 @@ impl CebinaeQdisc {
             total_grp: GroupLbf::new(cap),
             top_grp: GroupLbf::new(cap),
             bottom_grp: GroupLbf::new(cap),
-            top_flow_grps: HashMap::new(),
-            top_flows: HashSet::new(),
+            top_flow_grps: BTreeMap::new(),
+            top_flows: BTreeSet::new(),
             saturated: false,
             cache,
             port_tx_bytes: 0,
             cp_last_port_tx: 0,
-            cp_flow_bytes: HashMap::new(),
+            cp_flow_bytes: BTreeMap::new(),
+            // det-ok: read once at construction; recomputes use the cached flag
+            debug: std::env::var_os("CEBINAE_DEBUG").is_some(),
             rotations: 0,
             next_phase: CtlPhase::Rotate,
             pending: None,
@@ -262,11 +269,13 @@ impl CebinaeQdisc {
             } else if !decision.saturated {
                 self.last_top_rate_per_flow = None;
             }
-            if std::env::var_os("CEBINAE_DEBUG").is_some() {
+            if self.debug {
                 let util = port_bytes as f64 * 8.0
                     / (self.capacity_bps as f64 * self.cfg.window().as_secs_f64());
                 let mut fb: Vec<_> = self.cp_flow_bytes.iter().collect();
-                fb.sort_by_key(|&(_, b)| std::cmp::Reverse(*b));
+                // Bytes descending, FlowId ascending: ties between equal-rate
+                // flows print in a stable order.
+                fb.sort_by_key(|&(f, b)| (std::cmp::Reverse(*b), *f));
                 let tops: Vec<String> = fb
                     .iter()
                     .take(5)
@@ -450,7 +459,7 @@ impl Qdisc for CebinaeQdisc {
         } else {
             return None;
         };
-        let pkt = self.queues[q].pop_front().expect("non-empty");
+        let pkt = self.queues[q].pop_front()?;
         self.queue_bytes[q] -= pkt.size as u64;
         self.queued_total -= pkt.size as u64;
         self.stats.on_tx(pkt.size);
@@ -504,6 +513,7 @@ mod tests {
     use super::*;
     use cebinae_net::{BufferConfig, MSS};
     use cebinae_sim::Duration;
+    use std::collections::{HashMap, HashSet};
 
     const RATE: u64 = 100_000_000; // 100 Mbps
 

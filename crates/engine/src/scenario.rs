@@ -2,7 +2,7 @@
 //! used throughout the paper's evaluation, parameterized by per-flow CCA,
 //! RTT and start time, bottleneck rate, buffer, and discipline under test.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cebinae::CebinaeConfig;
 use cebinae_fq::{AfqConfig, FqCoDelConfig};
@@ -186,7 +186,7 @@ pub fn dumbbell(flows: &[DumbbellFlow], p: &ScenarioParams) -> (SimConfig, LinkI
         });
     }
 
-    let mut qdiscs = HashMap::new();
+    let mut qdiscs = BTreeMap::new();
     qdiscs.insert(bneck_fwd, p.bottleneck_qdisc(max_rtt * 2));
     let mut cfg = SimConfig::new(topo, specs);
     cfg.qdiscs = qdiscs;
@@ -249,7 +249,7 @@ pub fn parking_lot(
             });
         }
     }
-    let mut qdiscs = HashMap::new();
+    let mut qdiscs = BTreeMap::new();
     for &l in &bnecks {
         qdiscs.insert(l, p.bottleneck_qdisc(max_rtt * 2));
     }

@@ -7,7 +7,7 @@
 //! serialization + propagation. Everything is arena-indexed and driven by
 //! one deterministic event queue.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cebinae::{CebinaeConfig, CebinaeQdisc};
 use cebinae_fq::{AfqConfig, AfqQdisc, FqCoDelConfig, FqCoDelQdisc};
@@ -16,11 +16,9 @@ use cebinae_net::{
     BufferConfig, FifoQdisc, FlowId, LinkId, NodeId, Packet, PacketKind, PacketTrace, Qdisc,
     QdiscStats, TraceEvent, TraceRecord, Topology,
 };
+use cebinae_sim::rng::DetRng;
 use cebinae_sim::{tx_time, Duration, EventQueue, Time};
 use cebinae_transport::{TcpConfig, TcpOutput, TcpReceiver, TcpSender, TimerAction};
-use rand::rngs::SmallRng;
-use rand::Rng;
-use rand::SeedableRng;
 
 /// Which discipline to install on a link.
 #[derive(Clone, Debug)]
@@ -56,7 +54,7 @@ pub struct SimConfig {
     pub topology: Topology,
     pub flows: Vec<FlowSpec>,
     /// Qdisc per link; links not present default to a large FIFO.
-    pub qdiscs: HashMap<LinkId, QdiscSpec>,
+    pub qdiscs: BTreeMap<LinkId, QdiscSpec>,
     /// Links whose state/throughput should be sampled (the bottlenecks).
     pub monitored_links: Vec<LinkId>,
     pub duration: Duration,
@@ -76,7 +74,7 @@ impl SimConfig {
         SimConfig {
             topology,
             flows,
-            qdiscs: HashMap::new(),
+            qdiscs: BTreeMap::new(),
             monitored_links: Vec::new(),
             duration: Duration::from_secs(10),
             sample_interval: Duration::from_millis(100),
@@ -226,7 +224,7 @@ pub struct Simulation {
     cfg_duration: Duration,
     sample_interval: Duration,
     fault_drop: f64,
-    rng: SmallRng,
+    rng: DetRng,
     monitored: Vec<LinkId>,
     traced_links: Vec<LinkId>,
     trace: PacketTrace,
@@ -302,7 +300,7 @@ impl Simulation {
             cfg_duration: duration,
             sample_interval,
             fault_drop,
-            rng: SmallRng::seed_from_u64(seed ^ 0x5eed),
+            rng: DetRng::seed_from_u64(seed ^ 0x5eed),
             monitored: monitored_links,
             trace: PacketTrace::with_capacity(trace_capacity),
             traced_links,

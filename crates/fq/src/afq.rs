@@ -9,7 +9,7 @@
 //! exact per-flow counters, which is *generous* to AFQ) both as an extra
 //! baseline and to quantify Equation 1 in the scalability bench.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use cebinae_sim::Time;
 use cebinae_net::{DropReason, FlowId, Packet, Qdisc, QdiscStats};
@@ -46,7 +46,7 @@ pub struct AfqQdisc {
     round: u64,
     /// Per-flow cumulative byte counters (idealized exact table; the
     /// hardware version uses a count-min sketch).
-    flow_bytes: HashMap<FlowId, u64>,
+    flow_bytes: BTreeMap<FlowId, u64>,
     total_bytes: u64,
     stats: QdiscStats,
 }
@@ -59,7 +59,7 @@ impl AfqQdisc {
             queues: (0..cfg.n_queues).map(|_| VecDeque::new()).collect(),
             queue_bytes: vec![0; cfg.n_queues],
             round: 0,
-            flow_bytes: HashMap::new(),
+            flow_bytes: BTreeMap::new(),
             total_bytes: 0,
             stats: QdiscStats::default(),
             cfg,

@@ -5,7 +5,7 @@
 //! same idealization (bucket = flow id) and allow a finite bucket count for
 //! realistic configurations.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use cebinae_sim::Time;
 use cebinae_net::{DropReason, Packet, Qdisc, QdiscStats};
@@ -63,7 +63,7 @@ struct FlowQueue {
 /// FQ-CoDel queueing discipline.
 pub struct FqCoDelQdisc {
     cfg: FqCoDelConfig,
-    flows: HashMap<u64, FlowQueue>,
+    flows: BTreeMap<u64, FlowQueue>,
     new_list: VecDeque<u64>,
     old_list: VecDeque<u64>,
     total_bytes: u64,
@@ -74,7 +74,7 @@ impl FqCoDelQdisc {
     pub fn new(cfg: FqCoDelConfig) -> FqCoDelQdisc {
         FqCoDelQdisc {
             cfg,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             new_list: VecDeque::new(),
             old_list: VecDeque::new(),
             total_bytes: 0,
@@ -90,6 +90,8 @@ impl FqCoDelQdisc {
     }
 
     /// RFC 8290 overload behavior: drop from the head of the fattest queue.
+    /// `flows` is a BTreeMap, so byte-count ties break toward the highest
+    /// bucket id — deterministically, run to run.
     fn drop_from_fattest(&mut self, now: Time) {
         let Some((&bucket, _)) = self
             .flows
@@ -184,6 +186,7 @@ impl Qdisc for FqCoDelQdisc {
                 return None;
             };
 
+            // det-ok: scheduling lists only hold buckets present in `flows`
             let q = self.flows.get_mut(&bucket).expect("scheduled bucket");
             if q.deficit <= 0 {
                 // Exhausted its quantum: move to the back of old list with a
@@ -201,6 +204,7 @@ impl Qdisc for FqCoDelQdisc {
 
             match self.codel_dequeue(bucket, now) {
                 Some(pkt) => {
+                    // det-ok: codel_dequeue just returned a packet from this bucket
                     let q = self.flows.get_mut(&bucket).expect("bucket exists");
                     q.deficit -= pkt.size as i64;
                     return Some(pkt);
@@ -210,6 +214,7 @@ impl Qdisc for FqCoDelQdisc {
                     // list once (RFC 8290) — approximated by simple removal,
                     // which matches ns-3's behavior closely enough for
                     // long-lived flows.
+                    // det-ok: the bucket came off a scheduling list, so it is in `flows`
                     let q = self.flows.get_mut(&bucket).expect("bucket exists");
                     q.scheduled = false;
                     q.new_flow = false;

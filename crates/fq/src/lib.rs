@@ -21,28 +21,30 @@ pub use codel::{Codel, CodelVerdict};
 pub use fqcodel::{FqCoDelConfig, FqCoDelQdisc};
 pub use pcq::{PcqConfig, PcqQdisc};
 
+// Property tests driven by the workspace's seeded generator (64 random
+// cases per property, reproducible from the case index alone).
 #[cfg(test)]
 mod proptests {
     use super::*;
     use cebinae_net::{FlowId, Packet, Qdisc, MSS};
+    use cebinae_sim::rng::DetRng;
     use cebinae_sim::Time;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// FQ-CoDel conservation: every enqueued packet is eventually either
-        /// transmitted or counted as dropped, regardless of arrival pattern.
-        #[test]
-        fn fqcodel_conservation(
-            arrivals in proptest::collection::vec((0u32..8, 0u64..3), 1..300),
-        ) {
+    /// FQ-CoDel conservation: every enqueued packet is eventually either
+    /// transmitted or counted as dropped, regardless of arrival pattern.
+    #[test]
+    fn fqcodel_conservation() {
+        for case in 0..64u64 {
+            let mut rng = DetRng::seed_from_u64(0xf9c0 ^ case);
+            let n = rng.gen_range_usize(1, 300);
             let mut q = FqCoDelQdisc::new(FqCoDelConfig {
                 limit_bytes: 20 * 1500,
                 ..FqCoDelConfig::default()
             });
             let mut now = Time::ZERO;
-            for (flow, gap_ms) in arrivals {
+            for _ in 0..n {
+                let flow = rng.gen_range_u64(0, 8) as u32;
+                let gap_ms = rng.gen_range_u64(0, 3);
                 now = now + cebinae_sim::Duration::from_millis(gap_ms);
                 let _ = q.enqueue(Packet::data(FlowId(flow), 0, MSS, false, now), now);
             }
@@ -51,17 +53,19 @@ mod proptests {
                 tx += 1;
             }
             let s = q.stats();
-            prop_assert_eq!(s.tx_pkts, tx);
-            prop_assert_eq!(s.enq_pkts, tx + s.drop_pkts);
-            prop_assert_eq!(q.byte_len(), 0);
+            assert_eq!(s.tx_pkts, tx, "case {case}");
+            assert_eq!(s.enq_pkts, tx + s.drop_pkts, "case {case}");
+            assert_eq!(q.byte_len(), 0, "case {case}");
         }
+    }
 
-        /// FQ-CoDel never exceeds its configured byte limit.
-        #[test]
-        fn fqcodel_respects_limit(
-            n in 1usize..400,
-            limit_mtus in 2u64..32,
-        ) {
+    /// FQ-CoDel never exceeds its configured byte limit.
+    #[test]
+    fn fqcodel_respects_limit() {
+        for case in 0..64u64 {
+            let mut rng = DetRng::seed_from_u64(0xf9c1 ^ case);
+            let n = rng.gen_range_usize(1, 400);
+            let limit_mtus = rng.gen_range_u64(2, 32);
             let mut q = FqCoDelQdisc::new(FqCoDelConfig {
                 limit_bytes: limit_mtus * 1500,
                 ..FqCoDelConfig::default()
@@ -71,15 +75,19 @@ mod proptests {
                     Packet::data(FlowId((i % 5) as u32), i as u64, MSS, false, Time::ZERO),
                     Time::ZERO,
                 );
-                prop_assert!(q.byte_len() <= limit_mtus * 1500);
+                assert!(q.byte_len() <= limit_mtus * 1500, "case {case}");
             }
         }
+    }
 
-        /// AFQ per-flow service bound: over any backlogged drain, no flow
-        /// receives more than one BpR of service more than another
-        /// backlogged flow (the approximate-fairness guarantee).
-        #[test]
-        fn afq_service_gap_bounded(per_flow in 8usize..40) {
+    /// AFQ per-flow service bound: over any backlogged drain, no flow
+    /// receives more than one BpR of service more than another
+    /// backlogged flow (the approximate-fairness guarantee).
+    #[test]
+    fn afq_service_gap_bounded() {
+        for case in 0..64u64 {
+            let mut rng = DetRng::seed_from_u64(0xaf90 ^ case);
+            let per_flow = rng.gen_range_usize(8, 40);
             let cfg = AfqConfig {
                 n_queues: 64,
                 bpr: 2 * 1500,
@@ -104,9 +112,10 @@ mod proptests {
             let max = *served.iter().max().unwrap();
             let min = *served.iter().min().unwrap();
             // Bound: one round of BpR plus one packet of slack per flow.
-            prop_assert!(
+            assert!(
                 max - min <= cfg.bpr + 1500,
-                "service gap {} exceeds BpR bound", max - min
+                "case {case}: service gap {} exceeds BpR bound",
+                max - min
             );
         }
     }

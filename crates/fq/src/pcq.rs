@@ -10,7 +10,7 @@
 //! a queue as soon as it drains (work-conserving across rounds), which
 //! admits deeper per-flow horizons for the same queue count.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use cebinae_net::{DropReason, FlowId, Packet, Qdisc, QdiscStats};
 use cebinae_sim::Time;
@@ -45,7 +45,7 @@ pub struct PcqQdisc {
     head: usize,
     /// Absolute round number of the head queue.
     round: u64,
-    flow_bytes: HashMap<FlowId, u64>,
+    flow_bytes: BTreeMap<FlowId, u64>,
     total_bytes: u64,
     stats: QdiscStats,
 }
@@ -58,7 +58,7 @@ impl PcqQdisc {
             ring_bytes: vec![0; cfg.n_queues],
             head: 0,
             round: 0,
-            flow_bytes: HashMap::new(),
+            flow_bytes: BTreeMap::new(),
             total_bytes: 0,
             stats: QdiscStats::default(),
             cfg,

@@ -10,7 +10,7 @@ pub fn jfi(xs: &[f64]) -> f64 {
     }
     let sum: f64 = xs.iter().sum();
     let sq: f64 = xs.iter().map(|x| x * x).sum();
-    if sq == 0.0 {
+    if sq <= 0.0 {
         // All-zero allocation: conventionally perfectly fair.
         return 1.0;
     }

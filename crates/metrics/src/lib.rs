@@ -16,51 +16,61 @@ pub use jfi::{cdf, jfi, jfi_maxmin_normalized, percentile};
 pub use maxmin::{is_feasible, water_filling, MaxMinFlow};
 pub use series::GoodputSeries;
 
+// Property tests driven by the workspace's seeded generator (256 random
+// cases per property, reproducible from the case index alone).
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use cebinae_sim::rng::DetRng;
+    use std::collections::BTreeSet;
 
-    fn arb_network() -> impl Strategy<Value = (Vec<f64>, Vec<MaxMinFlow>)> {
-        (2usize..6, 1usize..8).prop_flat_map(|(n_links, n_flows)| {
-            let caps = proptest::collection::vec(0.5f64..100.0, n_links);
-            let flows = proptest::collection::vec(
-                proptest::collection::btree_set(0..n_links, 1..=n_links.min(3)),
-                n_flows,
-            );
-            (caps, flows).prop_map(|(caps, flows)| {
-                let flows = flows
-                    .into_iter()
-                    .map(|links| MaxMinFlow::through(links.into_iter().collect::<Vec<_>>()))
-                    .collect();
-                (caps, flows)
+    /// Random multi-link network: per-link capacities plus flows crossing
+    /// 1..=3 distinct links each (mirrors the old proptest generator).
+    fn gen_network(rng: &mut DetRng) -> (Vec<f64>, Vec<MaxMinFlow>) {
+        let n_links = rng.gen_range_usize(2, 6);
+        let n_flows = rng.gen_range_usize(1, 8);
+        let caps: Vec<f64> = (0..n_links).map(|_| rng.gen_range_f64(0.5, 100.0)).collect();
+        let flows = (0..n_flows)
+            .map(|_| {
+                let want = rng.gen_range_usize(1, n_links.min(3) + 1);
+                let mut links = BTreeSet::new();
+                while links.len() < want {
+                    links.insert(rng.gen_range_usize(0, n_links));
+                }
+                MaxMinFlow::through(links.into_iter().collect::<Vec<_>>())
             })
-        })
+            .collect();
+        (caps, flows)
     }
 
-    proptest! {
-        /// JFI is always in (0, 1] for non-negative inputs with a positive
-        /// sum, and is scale-invariant.
-        #[test]
-        fn jfi_bounds_and_scale_invariance(
-            xs in proptest::collection::vec(0.0f64..1e6, 1..64),
-            scale in 0.001f64..1000.0,
-        ) {
+    /// JFI is always in (0, 1] for non-negative inputs with a positive
+    /// sum, and is scale-invariant.
+    #[test]
+    fn jfi_bounds_and_scale_invariance() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::seed_from_u64(0x3f1_0001 ^ case);
+            let n = rng.gen_range_usize(1, 64);
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(0.0, 1e6)).collect();
+            let scale = rng.gen_range_f64(0.001, 1000.0);
             let v = jfi(&xs);
-            prop_assert!(v > 0.0 && v <= 1.0 + 1e-12, "jfi = {}", v);
+            assert!(v > 0.0 && v <= 1.0 + 1e-12, "case {case}: jfi = {v}");
             let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
-            prop_assert!((jfi(&scaled) - v).abs() < 1e-9);
+            assert!((jfi(&scaled) - v).abs() < 1e-9, "case {case}");
         }
+    }
 
-        /// Water-filling always produces feasible allocations in which
-        /// every flow that crosses a link has a bottleneck (Definition 2).
-        #[test]
-        fn water_filling_feasible_and_maxmin((caps, flows) in arb_network()) {
+    /// Water-filling always produces feasible allocations in which
+    /// every flow that crosses a link has a bottleneck (Definition 2).
+    #[test]
+    fn water_filling_feasible_and_maxmin() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::seed_from_u64(0x3f1_0002 ^ case);
+            let (caps, flows) = gen_network(&mut rng);
             let rates = water_filling(&caps, &flows);
-            prop_assert!(is_feasible(&caps, &flows, &rates));
+            assert!(is_feasible(&caps, &flows, &rates), "case {case}");
             let mut load = vec![0.0; caps.len()];
             for (f, &r) in flows.iter().zip(&rates) {
-                prop_assert!(r > 0.0);
+                assert!(r > 0.0, "case {case}");
                 for &l in &f.links {
                     load[l] += r;
                 }
@@ -75,36 +85,48 @@ mod proptests {
                         .all(|(j, _)| rates[j] <= rates[i] + 1e-6);
                     saturated && is_max
                 });
-                prop_assert!(
+                assert!(
                     has_bottleneck,
-                    "flow {} (rate {}) has no bottleneck; rates {:?}, load {:?}, caps {:?}",
+                    "case {case}: flow {} (rate {}) has no bottleneck; rates {:?}, load {:?}, caps {:?}",
                     i, rates[i], rates, load, caps
                 );
             }
         }
+    }
 
-        /// Water-filling is invariant to flow order (uniqueness).
-        #[test]
-        fn water_filling_order_invariant((caps, flows) in arb_network()) {
+    /// Water-filling is invariant to flow order (uniqueness).
+    #[test]
+    fn water_filling_order_invariant() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::seed_from_u64(0x3f1_0003 ^ case);
+            let (caps, flows) = gen_network(&mut rng);
             let rates = water_filling(&caps, &flows);
             let mut rev = flows.clone();
             rev.reverse();
             let mut rev_rates = water_filling(&caps, &rev);
             rev_rates.reverse();
             for (a, b) in rates.iter().zip(&rev_rates) {
-                prop_assert!((a - b).abs() < 1e-6, "{:?} vs {:?}", rates, rev_rates);
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "case {case}: {rates:?} vs {rev_rates:?}"
+                );
             }
         }
+    }
 
-        /// CDF endpoints and monotonicity.
-        #[test]
-        fn cdf_properties(xs in proptest::collection::vec(0.0f64..1e9, 1..100)) {
+    /// CDF endpoints and monotonicity.
+    #[test]
+    fn cdf_properties() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::seed_from_u64(0x3f1_0004 ^ case);
+            let n = rng.gen_range_usize(1, 100);
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(0.0, 1e9)).collect();
             let c = cdf(&xs);
-            prop_assert_eq!(c.len(), xs.len());
-            prop_assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+            assert_eq!(c.len(), xs.len(), "case {case}");
+            assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12, "case {case}");
             for w in c.windows(2) {
-                prop_assert!(w[0].0 <= w[1].0);
-                prop_assert!(w[0].1 <= w[1].1);
+                assert!(w[0].0 <= w[1].0, "case {case}");
+                assert!(w[0].1 <= w[1].1, "case {case}");
             }
         }
     }

@@ -22,20 +22,25 @@ pub use qdisc::{BufferConfig, DropReason, Qdisc, QdiscStats};
 pub use topology::{LinkSpec, NodeKind, Topology};
 pub use tracing::{PacketTrace, TraceEvent, TraceRecord};
 
+// Property tests driven by the workspace's seeded generator: a fixed
+// number of deterministically derived random cases per property, so every
+// failure reproduces from the case index alone.
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use cebinae_sim::rng::DetRng;
     use cebinae_sim::Time;
-    use proptest::prelude::*;
 
     /// Model-based test of FIFO drop-tail: compare against a trivially
     /// correct reference (a Vec with the same byte limit).
-    proptest! {
-        #[test]
-        fn fifo_matches_reference_model(
-            cap_mtus in 1u64..16,
-            sizes in proptest::collection::vec(52u32..=1500, 1..200),
-        ) {
+    #[test]
+    fn fifo_matches_reference_model() {
+        for case in 0..128u64 {
+            let mut rng = DetRng::seed_from_u64(0xf1f0_0001 ^ case);
+            let cap_mtus = rng.gen_range_u64(1, 16);
+            let n = rng.gen_range_usize(1, 200);
+            let sizes: Vec<u32> =
+                (0..n).map(|_| rng.gen_range_u64(52, 1501) as u32).collect();
             let cap_bytes = cap_mtus * 1500;
             let mut q = FifoQdisc::new(BufferConfig::mtus(cap_mtus));
             let mut model: Vec<u32> = Vec::new();
@@ -45,31 +50,33 @@ mod proptests {
                 let pkt = Packet::data(FlowId(0), i as u64, payload, false, Time::ZERO);
                 let accepted = q.enqueue(pkt.clone(), Time::ZERO).is_ok();
                 let model_accepts = model_bytes + pkt.size as u64 <= cap_bytes;
-                prop_assert_eq!(accepted, model_accepts);
+                assert_eq!(accepted, model_accepts, "case {case}");
                 if model_accepts {
                     model.push(pkt.size);
                     model_bytes += pkt.size as u64;
                 }
-                prop_assert_eq!(q.byte_len(), model_bytes);
-                prop_assert_eq!(q.pkt_len(), model.len());
+                assert_eq!(q.byte_len(), model_bytes, "case {case}");
+                assert_eq!(q.pkt_len(), model.len(), "case {case}");
             }
             // Drain: order and sizes must match the model exactly.
             for &expect in &model {
                 let got = q.dequeue(Time::ZERO).unwrap();
-                prop_assert_eq!(got.size, expect);
+                assert_eq!(got.size, expect, "case {case}");
             }
-            prop_assert!(q.dequeue(Time::ZERO).is_none());
+            assert!(q.dequeue(Time::ZERO).is_none(), "case {case}");
         }
+    }
 
-        /// Conservation: enq = tx + still-queued, in packets and bytes.
-        #[test]
-        fn fifo_conservation(
-            ops in proptest::collection::vec(proptest::bool::ANY, 1..300),
-        ) {
+    /// Conservation: enq = tx + still-queued, in packets and bytes.
+    #[test]
+    fn fifo_conservation() {
+        for case in 0..128u64 {
+            let mut rng = DetRng::seed_from_u64(0xf1f0_0002 ^ case);
+            let n_ops = rng.gen_range_usize(1, 300);
             let mut q = FifoQdisc::new(BufferConfig::mtus(8));
             let mut seq = 0u64;
-            for op in ops {
-                if op {
+            for _ in 0..n_ops {
+                if rng.gen_bool(0.5) {
                     let _ = q.enqueue(
                         Packet::data(FlowId(0), seq, MSS, false, Time::ZERO),
                         Time::ZERO,
@@ -79,8 +86,8 @@ mod proptests {
                     let _ = q.dequeue(Time::ZERO);
                 }
                 let s = q.stats();
-                prop_assert_eq!(s.enq_pkts, s.tx_pkts + q.pkt_len() as u64);
-                prop_assert_eq!(s.enq_bytes, s.tx_bytes + q.byte_len());
+                assert_eq!(s.enq_pkts, s.tx_pkts + q.pkt_len() as u64, "case {case}");
+                assert_eq!(s.enq_bytes, s.tx_bytes + q.byte_len(), "case {case}");
             }
         }
     }

@@ -21,8 +21,9 @@ pub enum TraceEvent {
     Drop(DropReason),
 }
 
-/// One trace record.
-#[derive(Clone, Copy, Debug)]
+/// One trace record. `PartialEq`/`Eq` let determinism tests assert that two
+/// runs of the same seeded scenario produce byte-identical traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
     pub at: Time,
     pub link: LinkId,

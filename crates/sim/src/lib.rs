@@ -11,8 +11,9 @@
 //!   plane uses,
 //! * [`queue`] — a deterministic [`EventQueue`] with FIFO tie-breaking at
 //!   equal timestamps,
-//! * [`rng`] — seeded, derivable random number generators so every
-//!   experiment is replayable.
+//! * [`rng`] — seeded, derivable random number generators (a local
+//!   xoshiro256++, no external crates) so every experiment is replayable
+//!   and all workspace entropy routes through one auditable module.
 //!
 //! The simulator is synchronous and single-threaded by design: simulation is
 //! CPU-bound work on one logical timeline, the case where an async runtime
@@ -26,16 +27,23 @@ pub mod time;
 pub use queue::EventQueue;
 pub use time::{bytes_in, tx_time, Duration, Time, NANOS_PER_SEC};
 
+// Property tests driven by the crate's own seeded generator: each test
+// sweeps a fixed number of deterministically derived random cases, so the
+// suite needs no external property-testing dependency and every failure is
+// reproducible from the case index alone.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::DetRng;
 
-    proptest! {
-        /// Popping the queue always yields non-decreasing timestamps, for
-        /// arbitrary interleavings of schedules.
-        #[test]
-        fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    /// Popping the queue always yields non-decreasing timestamps, for
+    /// arbitrary interleavings of schedules.
+    #[test]
+    fn event_queue_total_order() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::seed_from_u64(0xe0 ^ case);
+            let n = rng.gen_range_usize(1, 200);
+            let times: Vec<u64> = (0..n).map(|_| rng.gen_range_u64(0, 1_000_000)).collect();
             let mut q = EventQueue::new();
             for (i, t) in times.iter().enumerate() {
                 q.schedule(Time(*t), i);
@@ -43,45 +51,60 @@ mod proptests {
             let mut last = Time::ZERO;
             let mut count = 0;
             while let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last);
+                assert!(t >= last, "case {case}");
                 last = t;
                 count += 1;
             }
-            prop_assert_eq!(count, times.len());
+            assert_eq!(count, times.len(), "case {case}");
         }
+    }
 
-        /// Insertion order is preserved among equal timestamps.
-        #[test]
-        fn fifo_among_equal_times(n in 1usize..100, t in 0u64..1_000) {
+    /// Insertion order is preserved among equal timestamps.
+    #[test]
+    fn fifo_among_equal_times() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::seed_from_u64(0xf1f0 ^ case);
+            let n = rng.gen_range_usize(1, 100);
+            let t = rng.gen_range_u64(0, 1_000);
             let mut q = EventQueue::new();
             for i in 0..n {
                 q.schedule(Time(t), i);
             }
             let mut expect = 0;
             while let Some((_, i)) = q.pop() {
-                prop_assert_eq!(i, expect);
+                assert_eq!(i, expect, "case {case}");
                 expect += 1;
             }
         }
+    }
 
-        /// tx_time never undershoots the exact rational serialization delay,
-        /// and overshoots by less than 1ns.
-        #[test]
-        fn tx_time_bounds(bytes in 1u64..1_000_000, rate in 1_000u64..100_000_000_000u64) {
+    /// tx_time never undershoots the exact rational serialization delay,
+    /// and overshoots by less than 1ns.
+    #[test]
+    fn tx_time_bounds() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::seed_from_u64(0x77_0 ^ case);
+            let bytes = rng.gen_range_u64(1, 1_000_000);
+            let rate = rng.gen_range_u64(1_000, 100_000_000_000);
             let d = tx_time(bytes, rate);
             let exact = bytes as f64 * 8.0 / rate as f64 * 1e9;
-            prop_assert!(d.0 as f64 >= exact - 1e-6);
-            prop_assert!((d.0 as f64) < exact + 1.0 + 1e-6);
+            assert!(d.0 as f64 >= exact - 1e-6, "case {case}");
+            assert!((d.0 as f64) < exact + 1.0 + 1e-6, "case {case}");
         }
+    }
 
-        /// align_down is idempotent and never increases time.
-        #[test]
-        fn align_down_props(t in 0u64..u64::MAX / 2, shift in 0u32..40) {
+    /// align_down is idempotent and never increases time.
+    #[test]
+    fn align_down_props() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::seed_from_u64(0xa11 ^ case);
+            let t = rng.gen_range_u64(0, u64::MAX / 2);
+            let shift = rng.gen_range_u64(0, 40) as u32;
             let q = Duration(1u64 << shift);
             let a = Time(t).align_down(q);
-            prop_assert!(a <= Time(t));
-            prop_assert_eq!(a.align_down(q), a);
-            prop_assert_eq!(a.0 % q.0, 0);
+            assert!(a <= Time(t), "case {case}");
+            assert_eq!(a.align_down(q), a, "case {case}");
+            assert_eq!(a.0 % q.0, 0, "case {case}");
         }
     }
 }

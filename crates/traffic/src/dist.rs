@@ -2,7 +2,7 @@
 //! skew and bounded Pareto for flow durations — the standard heavy-tailed
 //! shapes of Internet backbone traffic.
 
-use rand::Rng;
+use cebinae_sim::rng::DetRng;
 
 /// Zipf weights over `n` ranks with exponent `s`: `w_k ∝ 1/k^s`,
 /// normalized to sum to 1.
@@ -19,9 +19,9 @@ pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
 
 /// Bounded Pareto sample in `[lo, hi]` with tail index `alpha`, via inverse
 /// transform sampling.
-pub fn bounded_pareto<R: Rng>(rng: &mut R, lo: f64, hi: f64, alpha: f64) -> f64 {
+pub fn bounded_pareto(rng: &mut DetRng, lo: f64, hi: f64, alpha: f64) -> f64 {
     assert!(lo > 0.0 && hi > lo && alpha > 0.0);
-    let u: f64 = rng.gen_range(0.0..1.0);
+    let u: f64 = rng.gen_f64();
     let la = lo.powf(alpha);
     let ha = hi.powf(alpha);
     // F^-1(u) for the bounded Pareto.
@@ -30,9 +30,10 @@ pub fn bounded_pareto<R: Rng>(rng: &mut R, lo: f64, hi: f64, alpha: f64) -> f64 
 }
 
 /// Exponential inter-arrival sample with the given mean.
-pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+pub fn exponential(rng: &mut DetRng, mean: f64) -> f64 {
     assert!(mean > 0.0);
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    // `1 - gen_f64()` lies in (0, 1], keeping `ln` finite.
+    let u: f64 = 1.0 - rng.gen_f64();
     -mean * u.ln()
 }
 

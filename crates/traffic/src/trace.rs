@@ -10,8 +10,7 @@
 
 use cebinae_net::FlowId;
 use cebinae_sim::{Duration, Time};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cebinae_sim::rng::DetRng;
 
 use crate::dist::{bounded_pareto, zipf_weights};
 
@@ -63,7 +62,7 @@ pub struct SyntheticTrace {
 impl SyntheticTrace {
     /// Generate a trace with Poisson flow arrivals, Zipf-assigned rates,
     /// and Pareto durations.
-    pub fn generate<R: Rng>(cfg: TraceConfig, rng: &mut R) -> SyntheticTrace {
+    pub fn generate(cfg: TraceConfig, rng: &mut DetRng) -> SyntheticTrace {
         let expected_flows =
             (cfg.flows_per_minute * cfg.duration.as_secs_f64() / 60.0).ceil() as usize;
         let n = expected_flows.max(1);
@@ -75,7 +74,7 @@ impl SyntheticTrace {
         let mut total_weighted_time = 0.0;
         let mut raw: Vec<(Time, Time, f64)> = Vec::with_capacity(n);
         for w in weights.iter().take(n) {
-            let start = Time::from_secs_f64(rng.gen_range(0.0..cfg.duration.as_secs_f64()));
+            let start = Time::from_secs_f64(rng.gen_range_f64(0.0, cfg.duration.as_secs_f64()));
             let dur = bounded_pareto(
                 rng,
                 cfg.min_duration.as_secs_f64(),
@@ -96,7 +95,7 @@ impl SyntheticTrace {
         // Assign ranks to random flow ids so heavy flows aren't always the
         // lowest ids.
         let mut ids: Vec<u32> = (0..n as u32).collect();
-        ids.shuffle(rng);
+        rng.shuffle(&mut ids);
         for (i, (start, end, w)) in raw.into_iter().enumerate() {
             flows.push(TraceFlow {
                 id: FlowId(ids[i]),
@@ -136,16 +135,16 @@ impl SyntheticTrace {
 
 /// A packet-level rendering of one interval for feeding a cache: MTU-sized
 /// packets of all active flows, interleaved by timestamp.
-pub fn interval_packets<R: Rng>(
+pub fn interval_packets(
     flow_bytes: &[(FlowId, u64)],
-    rng: &mut R,
+    rng: &mut DetRng,
 ) -> Vec<(FlowId, u32)> {
     const MTU: u64 = 1500;
     // Emit (flow, pkt_size) with flows interleaved in randomized round-
     // robin order, approximating arrival mixing on the wire without
     // materializing timestamps.
     let mut remaining: Vec<(FlowId, u64)> = flow_bytes.to_vec();
-    remaining.shuffle(rng);
+    rng.shuffle(&mut remaining);
     let total_pkts: u64 = remaining.iter().map(|&(_, b)| b.div_ceil(MTU)).sum();
     let mut out = Vec::with_capacity(total_pkts as usize);
     while !remaining.is_empty() {

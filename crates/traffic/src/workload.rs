@@ -2,8 +2,8 @@
 //! flow-completion-time studies (the "new flows can grow" property of the
 //! paper's Example 1, quantified).
 
+use cebinae_sim::rng::DetRng;
 use cebinae_sim::{Duration, Time};
-use rand::Rng;
 
 use crate::dist::{bounded_pareto, exponential};
 
@@ -44,7 +44,7 @@ impl Default for MiceWorkload {
 
 impl MiceWorkload {
     /// Materialize the arrival sequence.
-    pub fn generate<R: Rng>(&self, rng: &mut R) -> Vec<FlowArrival> {
+    pub fn generate(&self, rng: &mut DetRng) -> Vec<FlowArrival> {
         assert!(self.until > self.from);
         assert!(self.arrivals_per_sec > 0.0);
         let mut out = Vec::new();

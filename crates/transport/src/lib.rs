@@ -28,12 +28,14 @@ pub use receiver::TcpReceiver;
 pub use rtt::RttEstimator;
 pub use sender::{TcpConfig, TcpOutput, TcpSender, TimerAction};
 
+// Property tests driven by the workspace's seeded generator (32 random
+// cases per property, reproducible from the case index alone).
 #[cfg(test)]
 mod proptests {
     use super::*;
     use cebinae_net::{FlowId, PacketKind, MSS};
+    use cebinae_sim::rng::DetRng;
     use cebinae_sim::{Duration, Time};
-    use proptest::prelude::*;
 
     /// Replay arbitrary (lossy) delivery patterns through a sender/receiver
     /// pair connected by an explicit in-flight queue and check end-to-end
@@ -90,49 +92,49 @@ mod proptests {
         (s.delivered(), r.delivered(), r.ooo_bytes())
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// Under arbitrary loss patterns, the sender's delivered count
-        /// (cumulative + SACKed, so it may lead the receiver's *in-order*
-        /// count by the out-of-order buffer) stays consistent with the
-        /// receiver's state.
-        #[test]
-        fn sender_receiver_delivery_consistency(
-            drops in proptest::collection::vec(proptest::bool::weighted(0.2), 8..64),
-            cc_idx in 0usize..5,
-        ) {
-            let cc = CcKind::ALL[cc_idx];
+    /// Under arbitrary loss patterns, the sender's delivered count
+    /// (cumulative + SACKed, so it may lead the receiver's *in-order*
+    /// count by the out-of-order buffer) stays consistent with the
+    /// receiver's state.
+    #[test]
+    fn sender_receiver_delivery_consistency() {
+        for case in 0..32u64 {
+            let mut rng = DetRng::seed_from_u64(0x7c9_0001 ^ case);
+            let n = rng.gen_range_usize(8, 64);
+            let drops: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.2)).collect();
+            let cc = CcKind::ALL[rng.gen_range_usize(0, 5)];
             let (snd, rcv_in_order, rcv_ooo) = lossy_session(cc, &drops, 2_000);
-            prop_assert!(
+            assert!(
                 snd <= rcv_in_order + rcv_ooo,
-                "sender delivered {} > receiver {} (+{} ooo)", snd, rcv_in_order, rcv_ooo
+                "case {case}: sender delivered {snd} > receiver {rcv_in_order} (+{rcv_ooo} ooo)"
             );
         }
+    }
 
-        /// With a loss-free network every CCA delivers all data promptly.
-        #[test]
-        fn lossless_sessions_make_progress(cc_idx in 0usize..5) {
-            let cc = CcKind::ALL[cc_idx];
+    /// With a loss-free network every CCA delivers all data promptly.
+    #[test]
+    fn lossless_sessions_make_progress() {
+        for cc in CcKind::ALL {
             let (snd, rcv, ooo) = lossy_session(cc, &[false], 500);
-            prop_assert!(snd > 0);
-            prop_assert_eq!(snd, rcv);
-            prop_assert_eq!(ooo, 0);
+            assert!(snd > 0);
+            assert_eq!(snd, rcv);
+            assert_eq!(ooo, 0);
         }
+    }
 
-        /// cwnd stays within sane bounds (>= 1 MSS, < 2^32) under random
-        /// ack/loss sequences fed directly to each CCA.
-        #[test]
-        fn cc_windows_stay_bounded(
-            events in proptest::collection::vec(0u8..10, 1..400),
-            cc_idx in 0usize..5,
-        ) {
-            let mut cc = CcKind::ALL[cc_idx].build(MSS, 10 * MSS as u64);
+    /// cwnd stays within sane bounds (>= 1 MSS, < 2^32) under random
+    /// ack/loss sequences fed directly to each CCA.
+    #[test]
+    fn cc_windows_stay_bounded() {
+        for case in 0..32u64 {
+            let mut rng = DetRng::seed_from_u64(0x7c9_0003 ^ case);
+            let n = rng.gen_range_usize(1, 400);
+            let mut cc = CcKind::ALL[rng.gen_range_usize(0, 5)].build(MSS, 10 * MSS as u64);
             let mut now = Time::from_millis(1);
             let mut delivered = 0u64;
-            for e in events {
+            for _ in 0..n {
                 now += Duration::from_millis(3);
-                match e {
+                match rng.gen_range_u64(0, 10) {
                     0 => cc.on_loss(now, cc.cwnd()),
                     1 => cc.on_rto(now, cc.cwnd()),
                     2 => cc.on_ecn(now, cc.cwnd()),
@@ -157,8 +159,8 @@ mod proptests {
                         });
                     }
                 }
-                prop_assert!(cc.cwnd() >= MSS as u64, "{} cwnd collapsed", cc.name());
-                prop_assert!(cc.cwnd() < u32::MAX as u64, "{} cwnd exploded", cc.name());
+                assert!(cc.cwnd() >= MSS as u64, "case {case}: {} cwnd collapsed", cc.name());
+                assert!(cc.cwnd() < u32::MAX as u64, "case {case}: {} cwnd exploded", cc.name());
             }
         }
     }

@@ -1,0 +1,118 @@
+//! # cebinae-verify
+//!
+//! A dependency-free static-analysis pass over every `.rs` file in the
+//! workspace, enforcing the determinism and dataplane-safety invariants
+//! the reproduction depends on (see `DESIGN.md`, "Determinism
+//! invariants"):
+//!
+//! * **R1** — no wall-clock reads (`Instant::now`, `SystemTime`) outside
+//!   the harness/bench/examples allowlist;
+//! * **R2** — no ambient randomness (`thread_rng`, `rand::random`,
+//!   `RandomState`, OS entropy): all entropy flows through
+//!   `cebinae_sim::rng::DetRng`;
+//! * **R3** — no order-sensitive iteration over `HashMap`/`HashSet` in the
+//!   sim/net/core/engine/transport crates;
+//! * **R4** — no `std::env` reads in dataplane modules (read once at
+//!   construction, cache the result);
+//! * **R5** — no `unwrap`/`expect`/`panic!` in enqueue/dequeue/rotate hot
+//!   paths;
+//! * **R6** — no `==`/`!=` against float literals in core/metrics.
+//!
+//! A violation can be suppressed with a `// det-ok: <reason>` comment on
+//! the same line or the line above; the reason is mandatory.
+//!
+//! The pass runs three ways: `cargo run -p cebinae-verify` (CLI), this
+//! library API, and the `workspace_gate` integration test, which makes a
+//! plain `cargo test -q` fail on any unwaived violation.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Rule, Violation};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which rules to run, and where.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root to walk.
+    pub root: PathBuf,
+    /// Disabled rules (all rules run by default).
+    pub disabled: Vec<Rule>,
+}
+
+impl Config {
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Config { root: root.into(), disabled: Vec::new() }
+    }
+
+    pub fn disable(mut self, rule: Rule) -> Self {
+        self.disabled.push(rule);
+        self
+    }
+
+    fn enabled(&self, rule: Rule) -> bool {
+        !self.disabled.contains(&rule)
+    }
+}
+
+/// Analyze a single source string as if it lived at workspace-relative
+/// `path` (forward slashes). This is the unit used by the fixture
+/// self-tests; [`check_workspace`] calls it per file.
+pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
+    let lexed = lexer::lex(src);
+    let ctx = rules::FileCtx::new(path, &lexed);
+    let mut out = Vec::new();
+    rules::run_rules(&ctx, &|r| cfg.enabled(r), &mut out);
+    out
+}
+
+/// Walk the workspace and run the rules over every `.rs` file.
+///
+/// Skipped directories: build output (`target`), VCS metadata, and rule
+/// fixtures (`fixtures` — those files *intentionally* violate the rules).
+pub fn check_workspace(cfg: &Config) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(&cfg.root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(&cfg.root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(f)?;
+        out.extend(check_source(&rel, &src, cfg));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root when running from within this crate (CLI default
+/// and the gate test): two levels up from the crate manifest.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}

@@ -1,0 +1,92 @@
+//! CLI for the workspace determinism pass.
+//!
+//! ```text
+//! cargo run -p cebinae-verify             # check the whole workspace
+//! cargo run -p cebinae-verify -- --skip R5,R6
+//! cargo run -p cebinae-verify -- --root path/to/tree
+//! ```
+//!
+//! Exit status 0 when clean, 1 on any violation, 2 on usage/IO errors.
+
+use cebinae_verify::{check_workspace, Config, Rule};
+use std::process::ExitCode;
+
+fn parse_rule(s: &str) -> Option<Rule> {
+    match s.trim().to_ascii_uppercase().as_str() {
+        "R1" => Some(Rule::R1),
+        "R2" => Some(Rule::R2),
+        "R3" => Some(Rule::R3),
+        "R4" => Some(Rule::R4),
+        "R5" => Some(Rule::R5),
+        "R6" => Some(Rule::R6),
+        "W0" => Some(Rule::Waiver),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = cebinae_verify::workspace_root();
+    let mut disabled = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = p.into(),
+                None => return usage("--root needs a path"),
+            },
+            "--skip" => match args.next() {
+                Some(list) => {
+                    for part in list.split(',') {
+                        match parse_rule(part) {
+                            Some(r) => disabled.push(r),
+                            None => return usage(&format!("unknown rule `{part}`")),
+                        }
+                    }
+                }
+                None => return usage("--skip needs a rule list, e.g. R5,R6"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R6,W0]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut cfg = Config::new(root);
+    cfg.disabled = disabled;
+
+    match check_workspace(&cfg) {
+        Ok(violations) if violations.is_empty() => {
+            if cfg.disabled.is_empty() {
+                println!("cebinae-verify: workspace clean (rules R1-R6)");
+            } else {
+                let skipped: Vec<String> =
+                    cfg.disabled.iter().map(|r| r.to_string()).collect();
+                println!(
+                    "cebinae-verify: workspace clean (skipped: {})",
+                    skipped.join(",")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("cebinae-verify: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cebinae-verify: IO error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cebinae-verify: {msg}");
+    eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R6,W0]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,485 @@
+//! The determinism & dataplane-safety rules (R1-R6).
+//!
+//! Each rule is a token-stream pattern match over one file, scoped by the
+//! file's workspace-relative path and filtered by test regions and
+//! `// det-ok: <reason>` waivers. The rules are deliberately heuristic —
+//! they match what this workspace actually writes, and the fixture
+//! self-tests in `tests/rules.rs` pin both the positive and negative
+//! cases for every rule.
+
+use crate::lexer::{Lexed, Tok, Token};
+use std::fmt;
+
+/// Rule identifiers. `Waiver` is the meta-rule that a `det-ok` comment
+/// must carry a non-empty reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No wall-clock reads outside the harness/bench/examples allowlist.
+    R1,
+    /// No ambient randomness: all entropy through `cebinae_sim::rng`.
+    R2,
+    /// No order-sensitive iteration over `HashMap`/`HashSet` in the
+    /// simulation/dataplane crates.
+    R3,
+    /// No `std::env` reads in dataplane modules (cache at construction).
+    R4,
+    /// No `unwrap`/`expect`/`panic!` in enqueue/dequeue/rotate hot paths.
+    R5,
+    /// No `==`/`!=` against float literals in core/metrics.
+    R6,
+    /// `// det-ok:` waivers must carry a reason.
+    Waiver,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+            Rule::R5 => "R5",
+            Rule::R6 => "R6",
+            Rule::Waiver => "W0",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+/// Wall-clock allowlist: measurement harness, benches, examples, and the
+/// verify tool itself (its CLI reports elapsed wall time).
+fn r1_allowlisted(path: &str) -> bool {
+    path.starts_with("crates/harness/")
+        || path.starts_with("crates/bench/")
+        || path.starts_with("crates/verify/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+}
+
+/// Order-sensitive simulation crates for R3.
+const R3_CRATES: [&str; 5] = ["sim", "net", "core", "engine", "transport"];
+
+/// Dataplane crates for R4 (env must be read once, at construction).
+const R4_CRATES: [&str; 4] = ["core", "net", "fq", "transport"];
+
+/// Crates whose enqueue/dequeue/rotate paths are hot (R5).
+const R5_CRATES: [&str; 3] = ["core", "net", "fq"];
+
+/// Float-comparison-sensitive crates for R6.
+const R6_CRATES: [&str; 2] = ["core", "metrics"];
+
+fn in_crate_src(path: &str, crates: &[&str]) -> bool {
+    crates
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+// ---------------------------------------------------------------------------
+// Test regions
+// ---------------------------------------------------------------------------
+
+/// Line ranges covered by `#[cfg(test)]` items, `#[test]` functions, or
+/// `mod *test* { .. }` bodies.
+pub fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let matched = matches_seq(tokens, i, &["#", "[", "cfg", "(", "test", ")", "]"])
+            .or_else(|| matches_seq(tokens, i, &["#", "[", "test", "]"]));
+        if let Some(end) = matched {
+            if let Some(range) = brace_range_from(tokens, end) {
+                out.push(range);
+            }
+            i = end;
+            continue;
+        }
+        // `mod <name-containing-test> {`
+        if let (Some(Tok::Ident(kw)), Some(Tok::Ident(name))) =
+            (tokens.get(i).map(|t| &t.tok), tokens.get(i + 1).map(|t| &t.tok))
+        {
+            if kw == "mod"
+                && name.contains("test")
+                && tokens.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct("{"))
+            {
+                if let Some(range) = brace_range_from(tokens, i + 2) {
+                    out.push(range);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If tokens at `start` spell out `pat` (idents by name, punctuation by
+/// symbol), return the index one past the match.
+fn matches_seq(tokens: &[Token], start: usize, pat: &[&str]) -> Option<usize> {
+    for (k, want) in pat.iter().enumerate() {
+        match tokens.get(start + k).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) if s == want => {}
+            Some(Tok::Punct(p)) if p == want => {}
+            _ => return None,
+        }
+    }
+    Some(start + pat.len())
+}
+
+/// Starting at or after `from`, find the next `{` and return the line span
+/// of its balanced block.
+fn brace_range_from(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let open = (from..tokens.len()).find(|&k| {
+        matches!(tokens[k].tok, Tok::Punct("{"))
+            // Stop at a `;` first: `#[cfg(test)] mod tests;` has no body.
+            && !tokens[from..k].iter().any(|t| t.tok == Tok::Punct(";"))
+    })?;
+    let mut depth = 0usize;
+    for k in open..tokens.len() {
+        match tokens[k].tok {
+            Tok::Punct("{") => depth += 1,
+            Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((tokens[open].line, tokens[k].line));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((tokens[open].line, usize::MAX))
+}
+
+fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+// ---------------------------------------------------------------------------
+// Rule context and entry point
+// ---------------------------------------------------------------------------
+
+pub struct FileCtx<'a> {
+    pub path: &'a str,
+    pub lexed: &'a Lexed,
+    pub tests: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    pub fn new(path: &'a str, lexed: &'a Lexed) -> Self {
+        let tests = test_regions(&lexed.tokens);
+        FileCtx { path, lexed, tests }
+    }
+
+    fn exempt(&self, line: usize) -> bool {
+        self.lexed.waived(line) || in_ranges(&self.tests, line)
+    }
+
+    fn emit(&self, out: &mut Vec<Violation>, line: usize, rule: Rule, message: String) {
+        out.push(Violation { file: self.path.to_string(), line, rule, message });
+    }
+}
+
+/// Run the enabled rules over one lexed file.
+pub fn run_rules(ctx: &FileCtx<'_>, enabled: &dyn Fn(Rule) -> bool, out: &mut Vec<Violation>) {
+    for &line in &ctx.lexed.empty_waivers {
+        ctx.emit(out, line, Rule::Waiver, "det-ok waiver without a reason; write `// det-ok: <why this is deterministic>`".into());
+    }
+    if enabled(Rule::R1) {
+        r1_wall_clock(ctx, out);
+    }
+    if enabled(Rule::R2) {
+        r2_ambient_randomness(ctx, out);
+    }
+    if enabled(Rule::R3) {
+        r3_unordered_iteration(ctx, out);
+    }
+    if enabled(Rule::R4) {
+        r4_env_in_dataplane(ctx, out);
+    }
+    if enabled(Rule::R5) {
+        r5_panics_in_hot_path(ctx, out);
+    }
+    if enabled(Rule::R6) {
+        r6_float_equality(ctx, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R1: wall clock
+// ---------------------------------------------------------------------------
+
+fn r1_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if r1_allowlisted(ctx.path) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let hit = match name.as_str() {
+            // `SystemTime` has no deterministic use in simulation code.
+            "SystemTime" => true,
+            // `Instant` only when actually read (`Instant::now`).
+            "Instant" => matches_seq(toks, i, &["Instant", "::", "now"]).is_some(),
+            _ => false,
+        };
+        if hit && !ctx.exempt(t.line) {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::R1,
+                format!("wall-clock read via `{name}`; simulation code must use simulated `cebinae_sim::Time`"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R2: ambient randomness
+// ---------------------------------------------------------------------------
+
+fn r2_ambient_randomness(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let hit = match name.as_str() {
+            "thread_rng" | "from_entropy" | "RandomState" | "getrandom" | "OsRng" => true,
+            "rand" => matches_seq(toks, i, &["rand", "::", "random"]).is_some(),
+            _ => false,
+        };
+        // Deliberately no test exemption: seeded tests are part of the
+        // reproducibility contract. Waivers still apply.
+        if hit && !ctx.lexed.waived(t.line) {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::R2,
+                format!("ambient entropy via `{name}`; route all randomness through `cebinae_sim::rng::DetRng`"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R3: unordered-map iteration
+// ---------------------------------------------------------------------------
+
+const R3_ITER_METHODS: [&str; 10] = [
+    "iter", "iter_mut", "values", "values_mut", "keys", "drain", "into_iter", "retain",
+    "into_values", "into_keys",
+];
+
+fn r3_unordered_iteration(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !in_crate_src(ctx.path, &R3_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+
+    // Pass 1: names bound to HashMap/HashSet types (`name: HashMap<..>`,
+    // `name: &mut std::collections::HashMap<..>`, `let name = HashMap::..`).
+    let mut hash_names: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(ty) = &t.tok else { continue };
+        if ty != "HashMap" && ty != "HashSet" {
+            continue;
+        }
+        let mut j = i;
+        // Skip a leading path (`std :: collections ::`).
+        while j >= 2
+            && toks[j - 1].tok == Tok::Punct("::")
+            && matches!(toks[j - 2].tok, Tok::Ident(_))
+        {
+            j -= 2;
+        }
+        // Skip `&`, lifetimes, and `mut`.
+        while j >= 1
+            && (toks[j - 1].tok == Tok::Punct("&")
+                || toks[j - 1].tok == Tok::Lifetime
+                || toks[j - 1].tok == Tok::Ident("mut".into()))
+        {
+            j -= 1;
+        }
+        if j >= 2
+            && (toks[j - 1].tok == Tok::Punct(":") || toks[j - 1].tok == Tok::Punct("="))
+        {
+            if let Tok::Ident(name) = &toks[j - 2].tok {
+                hash_names.push(name.clone());
+            }
+        }
+    }
+
+    // Pass 2: iteration calls on those names.
+    for i in 0..toks.len() {
+        let Tok::Ident(name) = &toks[i].tok else { continue };
+        if !hash_names.contains(name) {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct(".")) {
+            continue;
+        }
+        let Some(Tok::Ident(method)) = toks.get(i + 2).map(|t| &t.tok) else { continue };
+        if R3_ITER_METHODS.contains(&method.as_str())
+            && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct("("))
+        {
+            let line = toks[i].line;
+            if !ctx.exempt(line) {
+                ctx.emit(
+                    out,
+                    line,
+                    Rule::R3,
+                    format!(
+                        "iteration over unordered `{name}` via `.{method}()`; use BTreeMap/BTreeSet, sort first, or waive with det-ok"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4: std::env in the dataplane
+// ---------------------------------------------------------------------------
+
+fn r4_env_in_dataplane(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !in_crate_src(ctx.path, &R4_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if matches_seq(toks, i, &["env", "::", "var"]).is_none()
+            && matches_seq(toks, i, &["env", "::", "var_os"]).is_none()
+            && matches_seq(toks, i, &["env", "::", "vars"]).is_none()
+        {
+            continue;
+        }
+        if !ctx.exempt(t.line) {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::R4,
+                "environment read in dataplane code; read once at construction and cache the result".into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R5: panics in hot paths
+// ---------------------------------------------------------------------------
+
+fn hot_fn(name: &str) -> bool {
+    name == "enqueue" || name == "dequeue" || name.contains("rotate")
+}
+
+fn r5_panics_in_hot_path(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !in_crate_src(ctx.path, &R5_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+
+    // Collect body ranges of hot functions (token index ranges).
+    let mut hot: Vec<(usize, usize)> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].tok != Tok::Ident("fn".into()) {
+            continue;
+        }
+        let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else { continue };
+        if !hot_fn(name) {
+            continue;
+        }
+        // Find the body: the first `{` after the signature.
+        let Some(open) = (i + 2..toks.len()).find(|&k| toks[k].tok == Tok::Punct("{")) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        for k in open..toks.len() {
+            match toks[k].tok {
+                Tok::Punct("{") => depth += 1,
+                Tok::Punct("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        hot.push((open, k));
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for &(a, b) in &hot {
+        for i in a..=b.min(toks.len() - 1) {
+            let Tok::Ident(name) = &toks[i].tok else { continue };
+            let hit = match name.as_str() {
+                "unwrap" | "expect" => {
+                    i > 0
+                        && toks[i - 1].tok == Tok::Punct(".")
+                        && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct("("))
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct("!"))
+                }
+                _ => false,
+            };
+            if hit && !ctx.exempt(toks[i].line) {
+                ctx.emit(
+                    out,
+                    toks[i].line,
+                    Rule::R5,
+                    format!(
+                        "`{name}` in an enqueue/dequeue/rotate hot path; return an error or restructure so the invariant is type-guaranteed"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R6: float equality
+// ---------------------------------------------------------------------------
+
+fn r6_float_equality(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !in_crate_src(ctx.path, &R6_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        let op = match toks[i].tok {
+            Tok::Punct("==") => "==",
+            Tok::Punct("!=") => "!=",
+            _ => continue,
+        };
+        let float_adjacent = [i.checked_sub(1), Some(i + 1)]
+            .into_iter()
+            .flatten()
+            .filter_map(|k| toks.get(k))
+            .any(|t| t.tok == Tok::Num { is_float: true });
+        if float_adjacent && !ctx.exempt(toks[i].line) {
+            ctx.emit(
+                out,
+                toks[i].line,
+                Rule::R6,
+                format!("`{op}` against a float literal; compare with a tolerance or an ordered predicate (`<=`, `>=`)"),
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+// Negative fixture: idiomatic deterministic code that must produce zero
+// diagnostics under every rule, at any path.
+
+use std::collections::BTreeMap;
+
+struct Clean {
+    table: BTreeMap<u32, u64>,
+    debug: bool,
+}
+
+impl Clean {
+    fn enqueue(&mut self, k: u32, v: u64) -> Result<(), &'static str> {
+        if self.table.len() > 1024 {
+            return Err("full");
+        }
+        self.table.insert(k, v);
+        Ok(())
+    }
+
+    fn dequeue(&mut self) -> Option<(u32, u64)> {
+        let k = *self.table.keys().next()?;
+        self.table.remove(&k).map(|v| (k, v))
+    }
+
+    fn near(&self, x: f64, y: f64) -> bool {
+        let _ = self.debug;
+        (x - y).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut c = Clean { table: BTreeMap::new(), debug: false };
+        c.enqueue(1, 2).unwrap();
+        assert_eq!(c.dequeue(), Some((1, 2)));
+        assert!(c.near(1.0, 1.0));
+    }
+}

@@ -1,0 +1,28 @@
+// R1 fixture: wall-clock reads. Checked at a non-allowlisted path and at
+// an allowlisted (harness) path by tests/rules.rs.
+
+fn bad_instant() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn bad_system_time() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}
+
+fn waived() {
+    let _t = std::time::Instant::now(); // det-ok: startup banner only, never feeds simulation state
+}
+
+// "Instant" as a plain type mention (no read) is fine:
+fn passes_through(t: std::time::Instant) -> std::time::Instant {
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_inside_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,33 @@
+// R2 fixture: ambient entropy. R2 applies everywhere, tests included —
+// seeded reproducibility is part of the workspace contract.
+
+fn bad_thread_rng() -> u64 {
+    let mut r = thread_rng();
+    r.gen()
+}
+
+fn bad_rand_random() -> u64 {
+    rand::random()
+}
+
+fn bad_random_state() {
+    let _s = std::collections::hash_map::RandomState::new();
+}
+
+fn waived() -> u64 {
+    rand::random() // det-ok: fixture-only example of a waived entropy source
+}
+
+fn fine() -> u64 {
+    // Mentions in comments never count: thread_rng, RandomState.
+    let s = "thread_rng in a string is fine too";
+    s.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_in_tests_is_still_flagged() {
+        let _r = thread_rng();
+    }
+}

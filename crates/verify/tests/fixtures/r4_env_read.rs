@@ -1,0 +1,34 @@
+// R4 fixture: environment reads in dataplane code.
+
+fn bad_hot_read() -> bool {
+    std::env::var_os("CEBINAE_DEBUG").is_some()
+}
+
+fn bad_var() -> Option<String> {
+    std::env::var("CEBINAE_TRACE").ok()
+}
+
+struct Dataplane {
+    debug: bool,
+}
+
+impl Dataplane {
+    fn new() -> Self {
+        Dataplane {
+            // det-ok: read once at construction; the cached flag is used thereafter
+            debug: std::env::var_os("CEBINAE_DEBUG").is_some(),
+        }
+    }
+
+    fn recompute(&self) -> bool {
+        self.debug
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_in_tests_is_fine() {
+        let _ = std::env::var_os("CEBINAE_DEBUG");
+    }
+}

@@ -1,0 +1,43 @@
+// R5 fixture: panicking constructs inside enqueue/dequeue/rotate.
+
+struct Q {
+    q: Vec<u32>,
+}
+
+impl Q {
+    fn enqueue(&mut self, x: u32) {
+        self.q.push(x);
+        let _ = self.q.last().unwrap();
+    }
+
+    fn dequeue(&mut self) -> u32 {
+        if self.q.is_empty() {
+            panic!("empty");
+        }
+        self.q.pop().expect("non-empty")
+    }
+
+    fn do_rotate(&mut self) {
+        let first = *self.q.first().expect("backlogged"); // det-ok: rotation is only scheduled while backlogged
+        self.q.push(first);
+    }
+
+    fn cold_path(&self) -> u32 {
+        self.q.first().copied().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_test_helpers_named_enqueue_is_fine() {
+        fn enqueue(v: &mut Vec<u32>) {
+            v.push(1);
+            let _ = v.last().unwrap();
+        }
+        let mut v = Vec::new();
+        enqueue(&mut v);
+    }
+}

@@ -1,0 +1,34 @@
+// R6 fixture: exact float comparison.
+
+fn bad_eq(x: f64) -> bool {
+    x == 0.0
+}
+
+fn bad_ne(x: f64) -> bool {
+    1.5 != x
+}
+
+fn ordered_is_fine(x: f64) -> bool {
+    x <= 0.0
+}
+
+fn tolerance_is_fine(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9
+}
+
+fn int_eq_is_fine(x: u64) -> bool {
+    x == 0
+}
+
+fn waived(x: f64) -> bool {
+    x == 1.0 // det-ok: sentinel stored verbatim, never recomputed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_eq_in_tests_is_fine() {
+        let x = 2.0;
+        assert!(x == 2.0);
+    }
+}

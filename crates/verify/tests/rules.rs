@@ -1,0 +1,143 @@
+//! Fixture self-tests: every rule is exercised with positive cases (the
+//! violation is reported, with the right rule id and count) and negative
+//! cases (waivers, test regions, allowlisted paths, and idiomatic
+//! deterministic code produce no diagnostics).
+
+use cebinae_verify::{check_source, Config, Rule, Violation};
+
+const R1: &str = include_str!("fixtures/r1_wall_clock.rs");
+const R2: &str = include_str!("fixtures/r2_ambient_randomness.rs");
+const R3: &str = include_str!("fixtures/r3_unordered_iteration.rs");
+const R4: &str = include_str!("fixtures/r4_env_read.rs");
+const R5: &str = include_str!("fixtures/r5_hot_path_panics.rs");
+const R6: &str = include_str!("fixtures/r6_float_equality.rs");
+const CLEAN: &str = include_str!("fixtures/clean.rs");
+
+fn rule_hits(path: &str, src: &str, rule: Rule) -> Vec<Violation> {
+    check_source(path, src, &Config::new("."))
+        .into_iter()
+        .filter(|v| v.rule == rule)
+        .collect()
+}
+
+#[test]
+fn r1_flags_wall_clock_outside_allowlist() {
+    let hits = rule_hits("crates/core/src/fixture.rs", R1, Rule::R1);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().any(|v| v.message.contains("Instant")));
+    assert!(hits.iter().any(|v| v.message.contains("SystemTime")));
+}
+
+#[test]
+fn r1_allows_harness_bench_examples() {
+    for path in [
+        "crates/harness/src/fixture.rs",
+        "crates/bench/benches/fixture.rs",
+        "examples/fixture.rs",
+        "crates/engine/examples/fixture.rs",
+    ] {
+        assert!(rule_hits(path, R1, Rule::R1).is_empty(), "{path}");
+    }
+}
+
+#[test]
+fn r2_flags_ambient_entropy_everywhere_even_in_tests() {
+    let hits = rule_hits("crates/traffic/src/fixture.rs", R2, Rule::R2);
+    // thread_rng + rand::random + RandomState + thread_rng-in-test; the
+    // waived call and the comment/string mentions never count.
+    assert_eq!(hits.len(), 4, "{hits:?}");
+}
+
+#[test]
+fn r3_flags_unordered_iteration_in_sim_crates() {
+    let hits = rule_hits("crates/core/src/fixture.rs", R3, Rule::R3);
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert!(hits.iter().any(|v| v.message.contains("table")));
+    assert!(hits.iter().any(|v| v.message.contains("members")));
+    assert!(hits.iter().any(|v| v.message.contains("scratch")));
+}
+
+#[test]
+fn r3_ignores_crates_outside_scope() {
+    assert!(rule_hits("crates/metrics/src/fixture.rs", R3, Rule::R3).is_empty());
+    assert!(rule_hits("crates/harness/src/fixture.rs", R3, Rule::R3).is_empty());
+}
+
+#[test]
+fn r4_flags_env_reads_in_dataplane() {
+    let hits = rule_hits("crates/fq/src/fixture.rs", R4, Rule::R4);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+}
+
+#[test]
+fn r4_ignores_control_tooling() {
+    assert!(rule_hits("crates/harness/src/fixture.rs", R4, Rule::R4).is_empty());
+    assert!(rule_hits("examples/fixture.rs", R4, Rule::R4).is_empty());
+}
+
+#[test]
+fn r5_flags_panics_in_hot_paths() {
+    let hits = rule_hits("crates/core/src/fixture.rs", R5, Rule::R5);
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert!(hits.iter().any(|v| v.message.contains("unwrap")));
+    assert!(hits.iter().any(|v| v.message.contains("expect")));
+    assert!(hits.iter().any(|v| v.message.contains("panic")));
+}
+
+#[test]
+fn r5_scopes_to_dataplane_crates() {
+    assert!(rule_hits("crates/engine/src/fixture.rs", R5, Rule::R5).is_empty());
+}
+
+#[test]
+fn r6_flags_float_literal_equality() {
+    let hits = rule_hits("crates/metrics/src/fixture.rs", R6, Rule::R6);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    let hits_core = rule_hits("crates/core/src/fixture.rs", R6, Rule::R6);
+    assert_eq!(hits_core.len(), 2, "{hits_core:?}");
+}
+
+#[test]
+fn r6_ignores_crates_outside_scope() {
+    assert!(rule_hits("crates/transport/src/fixture.rs", R6, Rule::R6).is_empty());
+}
+
+#[test]
+fn clean_fixture_is_clean_under_every_rule() {
+    for path in [
+        "crates/core/src/clean.rs",
+        "crates/metrics/src/clean.rs",
+        "crates/sim/src/clean.rs",
+    ] {
+        let v = check_source(path, CLEAN, &Config::new("."));
+        assert!(v.is_empty(), "{path}: {v:?}");
+    }
+}
+
+#[test]
+fn empty_waiver_reason_is_itself_a_violation() {
+    let src = "fn f() {\n    let x = 1; // det-ok:\n    let _ = x;\n}\n";
+    let v = check_source("crates/core/src/w.rs", src, &Config::new("."));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::Waiver);
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn disabled_rules_are_skipped() {
+    let cfg = Config::new(".").disable(Rule::R6);
+    let v: Vec<_> = check_source("crates/metrics/src/fixture.rs", R6, &cfg);
+    assert!(v.iter().all(|x| x.rule != Rule::R6), "{v:?}");
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let hits = rule_hits("crates/metrics/src/fixture.rs", R6, Rule::R6);
+    for h in &hits {
+        assert_eq!(h.file, "crates/metrics/src/fixture.rs");
+        assert!(h.line > 0);
+        let rendered = h.to_string();
+        assert!(rendered.contains("crates/metrics/src/fixture.rs:"), "{rendered}");
+        assert!(rendered.contains("[R6]"), "{rendered}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Bit-level determinism: two runs of the same seeded scenario must agree
+//! not just on aggregate counters but on the *entire packet trace* at the
+//! bottleneck — every enqueue, dequeue, and drop, at the same simulated
+//! time, in the same order. This is the contract the R1-R6 rules in
+//! `cebinae-verify` (and DESIGN.md's "Determinism invariants") exist to
+//! protect.
+
+use cebinae_repro::prelude::*;
+
+fn traced_run(discipline: Discipline, seed: u64) -> SimResult {
+    let flows = vec![
+        DumbbellFlow::new(CcKind::NewReno, 30),
+        DumbbellFlow::new(CcKind::Cubic, 40),
+        DumbbellFlow::new(CcKind::Vegas, 25),
+        DumbbellFlow::new(CcKind::Bbr, 35).starting_at(Time::from_secs(2)),
+    ];
+    let mut p = ScenarioParams::new(25_000_000, 250, discipline);
+    p.duration = Duration::from_secs(6);
+    p.seed = seed;
+    p.cebinae_p = Some(1);
+    let (mut cfg, bneck) = dumbbell(&flows, &p);
+    // Seeded fault injection: the trace must be identical even when the
+    // random-drop path is exercised.
+    cfg.fault_drop = 0.005;
+    cfg.traced_links = vec![bneck];
+    cfg.trace_capacity = 500_000;
+    Simulation::new(cfg).run()
+}
+
+#[test]
+fn identical_seeds_give_identical_packet_traces() {
+    for discipline in [Discipline::Fifo, Discipline::Cebinae] {
+        let a = traced_run(discipline, 0xceb1_7e57);
+        let b = traced_run(discipline, 0xceb1_7e57);
+        assert_eq!(
+            a.delivered, b.delivered,
+            "{discipline:?}: delivered bytes diverged"
+        );
+        assert_eq!(
+            a.events_processed, b.events_processed,
+            "{discipline:?}: event counts diverged"
+        );
+        assert_eq!(
+            a.trace.len(),
+            b.trace.len(),
+            "{discipline:?}: trace lengths diverged"
+        );
+        // Record-by-record equality, with a usable diff on failure.
+        for (i, (ra, rb)) in a.trace.records().iter().zip(b.trace.records()).enumerate() {
+            assert_eq!(
+                ra, rb,
+                "{discipline:?}: traces first diverge at record {i}:\n  a: {ra}\n  b: {rb}"
+            );
+        }
+        // And the rendered dump (covers formatting + truncation counters).
+        assert_eq!(a.trace.dump(), b.trace.dump());
+        assert!(
+            !a.trace.is_empty(),
+            "{discipline:?}: scenario must actually exercise the traced link"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    // Guards against the opposite failure: a seed that is ignored would
+    // make the identical-trace test vacuous.
+    let a = traced_run(Discipline::Cebinae, 1);
+    let b = traced_run(Discipline::Cebinae, 2);
+    assert_ne!(
+        a.trace.dump(),
+        b.trace.dump(),
+        "distinct seeds must perturb the packet schedule"
+    );
+}
