@@ -4,8 +4,11 @@
 //!
 //! Run with `cargo bench --bench micro`. Each benchmark reports the
 //! median per-iteration time over a fixed number of timed samples; no
-//! external harness is required, so the bench builds fully offline.
+//! external harness is required, so the bench builds fully offline. All
+//! medians are also written to `BENCH_micro.json` so CI can archive the
+//! numbers alongside `BENCH_experiments.json`.
 
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -17,10 +20,12 @@ use cebinae_net::{BufferConfig, FifoQdisc, FlowId, Packet, Qdisc, MSS};
 use cebinae_sim::{Duration, EventQueue, Time};
 use cebinae_transport::CcKind;
 
-/// Time `f` for `samples` timed runs after `warmup` untimed ones and print
-/// the median per-run wall time. Returns the median in nanoseconds so
-/// callers could assert coarse regressions if they ever want to.
-fn bench<F: FnMut()>(name: &str, warmup: u32, samples: u32, mut f: F) -> u128 {
+/// Collected (name, median ns) pairs, dumped to `BENCH_micro.json`.
+type Results = Vec<(String, u128)>;
+
+/// Time `f` for `samples` timed runs after `warmup` untimed ones, print
+/// the median per-run wall time, and record it in `out`.
+fn bench<F: FnMut()>(out: &mut Results, name: &str, warmup: u32, samples: u32, mut f: F) -> u128 {
     for _ in 0..warmup {
         f();
     }
@@ -34,14 +39,59 @@ fn bench<F: FnMut()>(name: &str, warmup: u32, samples: u32, mut f: F) -> u128 {
     times.sort_unstable();
     let median = times[times.len() / 2];
     println!("{name:<40} median {median:>12} ns ({samples} samples)");
+    out.push((name.to_string(), median));
     median
 }
 
-fn bench_event_queue() {
-    bench("event_queue_push_pop_1k", 3, 25, || {
+fn bench_event_queue(out: &mut Results) {
+    bench(out, "event_queue_push_pop_1k", 3, 25, || {
         let mut q = EventQueue::new();
         for i in 0..1000u64 {
             q.schedule(Time(i * 37 % 1000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc ^= e;
+        }
+        black_box(acc);
+    });
+    bench(out, "event_queue_push_pop_10k", 3, 15, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(Time(i * 37 % 10_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc ^= e;
+        }
+        black_box(acc);
+    });
+    // The lazy-delete timer path: schedule 10k timers, cancel 80% of them
+    // (tombstones + periodic compaction), drain the survivors.
+    bench(out, "event_queue_cancel_80pct_10k", 3, 15, || {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10_000u64)
+            .map(|i| q.schedule_timer(Time(i * 37 % 10_000), i))
+            .collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            if i % 5 != 0 {
+                q.cancel(id);
+            }
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc ^= e;
+        }
+        black_box(acc);
+    });
+    // The retransmission-timer churn pattern: every "ACK" cancels the
+    // pending timer and re-arms an earlier one, then the queue drains.
+    bench(out, "event_queue_rearm_churn_1k", 3, 25, || {
+        let mut q = EventQueue::new();
+        let mut id = q.schedule_timer(Time(1_001_000), 0u64);
+        for i in 0..1000u64 {
+            q.cancel(id);
+            id = q.schedule_timer(Time(1_001_000 - i * 1000), i);
         }
         let mut acc = 0u64;
         while let Some((_, e)) = q.pop() {
@@ -55,22 +105,22 @@ fn pkt(i: usize) -> Packet {
     Packet::data(FlowId((i % 64) as u32), i as u64, MSS, false, Time(i as u64 * 1000))
 }
 
-fn bench_qdiscs() {
-    bench("qdisc_enq_deq_1k/fifo", 3, 25, || {
+fn bench_qdiscs(out: &mut Results) {
+    bench(out, "qdisc_enq_deq_1k/fifo", 3, 25, || {
         let mut q = FifoQdisc::new(BufferConfig::mtus(2000));
         for i in 0..1000 {
             let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
         }
         while q.dequeue(Time(2_000_000)).is_some() {}
     });
-    bench("qdisc_enq_deq_1k/fq_codel", 3, 25, || {
+    bench(out, "qdisc_enq_deq_1k/fq_codel", 3, 25, || {
         let mut q = FqCoDelQdisc::new(FqCoDelConfig::ideal_with_limit(2000 * 1500));
         for i in 0..1000 {
             let _ = q.enqueue(pkt(i), Time(i as u64 * 1000));
         }
         while q.dequeue(Time(2_000_000)).is_some() {}
     });
-    bench("qdisc_enq_deq_1k/afq", 3, 25, || {
+    bench(out, "qdisc_enq_deq_1k/afq", 3, 25, || {
         let mut q = AfqQdisc::new(AfqConfig {
             limit_bytes: 2000 * 1500,
             ..AfqConfig::default()
@@ -85,7 +135,7 @@ fn bench_qdiscs() {
         BufferConfig::mtus(2000),
         Duration::from_millis(50),
     );
-    bench("qdisc_enq_deq_1k/cebinae", 3, 25, || {
+    bench(out, "qdisc_enq_deq_1k/cebinae", 3, 25, || {
         let mut q = CebinaeQdisc::new(cfg.clone(), 1_000_000_000, 1);
         q.activate(Time::ZERO);
         for i in 0..1000 {
@@ -95,9 +145,9 @@ fn bench_qdiscs() {
     });
 }
 
-fn bench_lbf() {
+fn bench_lbf(out: &mut Results) {
     let clock = RoundClock::new(Duration(1 << 26), Duration(1 << 17), Time::ZERO);
-    bench("lbf_classify_1k", 3, 25, || {
+    bench(out, "lbf_classify_1k", 3, 25, || {
         let mut g = GroupLbf::new(1e9);
         for _ in 0..1000 {
             black_box(g.classify(1500, &clock, 0));
@@ -105,8 +155,8 @@ fn bench_lbf() {
     });
 }
 
-fn bench_cache() {
-    bench("hh_cache_update_10k", 3, 25, || {
+fn bench_cache(out: &mut Results) {
+    bench(out, "hh_cache_update_10k", 3, 25, || {
         let mut cache = HeavyHitterCache::new(2, 2048, 7);
         for i in 0..cebinae_bench::CACHE_FLOWS {
             cache.update(FlowId(i % 3000), 1500);
@@ -115,19 +165,19 @@ fn bench_cache() {
     });
 }
 
-fn bench_water_filling() {
+fn bench_water_filling(out: &mut Results) {
     let caps: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
     let flows: Vec<MaxMinFlow> = (0..100)
         .map(|i| MaxMinFlow::through(vec![i % 10, (i + 3) % 10]))
         .collect();
-    bench("water_filling_100_flows", 3, 25, || {
+    bench(out, "water_filling_100_flows", 3, 25, || {
         black_box(water_filling(&caps, &flows));
     });
 }
 
-fn bench_end_to_end() {
+fn bench_end_to_end(out: &mut Results) {
     for d in [Discipline::Fifo, Discipline::FqCoDel, Discipline::Cebinae] {
-        bench(&format!("sim_1s_10mbps_2flows/{}", d.label()), 1, 10, || {
+        bench(out, &format!("sim_1s_10mbps_2flows/{}", d.label()), 1, 10, || {
             let flows = vec![
                 DumbbellFlow::new(CcKind::NewReno, 20),
                 DumbbellFlow::new(CcKind::Cubic, 20),
@@ -140,11 +190,35 @@ fn bench_end_to_end() {
     }
 }
 
+fn write_json(results: &Results) {
+    let mut j = String::from("{\n  \"schema\": \"cebinae-bench-micro-v1\",\n  \"benches\": [\n");
+    for (i, (name, median)) in results.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{name}\", \"median_ns\": {median} }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    // Benches run with the crate dir as CWD; anchor the artifact at the
+    // workspace root next to BENCH_experiments.json.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_micro.json");
+    match std::fs::write(&path, &j) {
+        Ok(()) => println!("wrote {} ({} benches)", path.display(), results.len()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
-    bench_event_queue();
-    bench_qdiscs();
-    bench_lbf();
-    bench_cache();
-    bench_water_filling();
-    bench_end_to_end();
+    let mut results = Results::new();
+    bench_event_queue(&mut results);
+    bench_qdiscs(&mut results);
+    bench_lbf(&mut results);
+    bench_cache(&mut results);
+    bench_water_filling(&mut results);
+    bench_end_to_end(&mut results);
+    write_json(&results);
 }

@@ -9,6 +9,11 @@
 //!   "target" per table and figure of the paper, producing the same rows
 //!   and series as `cebinae-experiments` (scaled durations; set
 //!   `CEBINAE_FULL=1` for paper-scale runs).
+//!
+//! The crate's binary (`cargo run --release -p cebinae-bench`) is the
+//! bench *baseline emitter*: it times representative experiments serial
+//! vs parallel on the trial pool, verifies byte-identical output, and
+//! writes `BENCH_experiments.json`; `--smoke --check` is the CI gate.
 
 /// Workload sizes shared by the micro benches.
 pub const CACHE_FLOWS: u32 = 10_000;

@@ -1,0 +1,261 @@
+//! Bench baseline emitter: times representative experiments serial vs
+//! parallel, verifies the two produce byte-identical output, and writes
+//! the results to `BENCH_experiments.json`.
+//!
+//! ```text
+//! cargo run --release -p cebinae-bench                    # full workload
+//! cargo run --release -p cebinae-bench -- --smoke --check # CI gate
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke`   — small workloads (CI-friendly, seconds not minutes);
+//! * `--check`   — exit 1 if any serial/parallel output pair differs, or
+//!   (on machines with ≥2 cores) if any parallel run is slower than its
+//!   serial twin;
+//! * `--reps N`  — timed repetitions per mode, median reported (default 3);
+//! * `--out P`   — output path (default `BENCH_experiments.json`).
+//!
+//! Two experiments are measured, matching the tier-1 determinism tests:
+//! the Figure 13 interval sweep (many independent trace trials) and a
+//! seeded dumbbell trial batch (many independent simulations), the two
+//! fan-out shapes the harness uses everywhere.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cebinae_engine::{Discipline, DumbbellFlow};
+use cebinae_harness::fig13;
+use cebinae_harness::runner::{run_dumbbell_trials, Ctx};
+use cebinae_par::TrialPool;
+use cebinae_sim::Duration;
+use cebinae_transport::CcKind;
+
+struct Opts {
+    smoke: bool,
+    check: bool,
+    reps: u32,
+    out: String,
+}
+
+/// One serial-vs-parallel measurement.
+struct Outcome {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    identical: bool,
+    /// Simulator events processed per run (0 when the experiment does not
+    /// run the packet simulator, e.g. the trace-replay sweep).
+    events_per_run: u64,
+}
+
+impl Outcome {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cebinae-bench [--smoke] [--check] [--reps N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        check: false,
+        reps: 3,
+        out: "BENCH_experiments.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--check" => opts.check = true,
+            "--reps" => {
+                opts.reps = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => opts.out = it.next().unwrap_or_else(|| usage()),
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn median_ms(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    xs[xs.len() / 2]
+}
+
+/// Run `f` `reps` times; return (median wall ms, last output).
+fn time_reps<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(reps as usize);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        last = Some(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (median_ms(times), last.expect("reps >= 1"))
+}
+
+/// Figure 13 interval sweep: the harness's widest trial fan-out.
+fn bench_fig13(opts: &Opts, serial: &Ctx, parallel: &Ctx) -> Outcome {
+    let (intervals, slots, trials): (&[u64], usize, u64) = if opts.smoke {
+        (&[20], 256, 4)
+    } else {
+        (&[20, 40, 60], 1024, 8)
+    };
+    let run = |ctx: &Ctx| {
+        fig13::interval_sweep(ctx, intervals, slots, trials, "bench-fig13", fig13::light_trace_cfg)
+    };
+    let (serial_ms, out_s) = time_reps(opts.reps, || run(serial));
+    let (parallel_ms, out_p) = time_reps(opts.reps, || run(parallel));
+    Outcome {
+        name: "fig13-interval-sweep",
+        serial_ms,
+        parallel_ms,
+        identical: out_s == out_p,
+        events_per_run: 0,
+    }
+}
+
+/// Bit-exact fingerprint of a trial batch: per-flow goodput bit patterns
+/// plus event counts, seed by seed.
+fn batch_fingerprint(batch: &[cebinae_harness::RunMetrics]) -> String {
+    let mut s = String::new();
+    for m in batch {
+        for &bps in &m.per_flow_bps {
+            let _ = write!(s, "{:016x},", bps.to_bits());
+        }
+        let _ = writeln!(s, "ev={}", m.result.events_processed);
+    }
+    s
+}
+
+/// Seeded dumbbell batch: one full simulation per seed.
+fn bench_dumbbell(opts: &Opts, serial: &Ctx, parallel: &Ctx) -> Outcome {
+    let (n_seeds, rate_bps, secs) = if opts.smoke {
+        (4u64, 20_000_000u64, 2u64)
+    } else {
+        (8, 50_000_000, 4)
+    };
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let flows = vec![
+        DumbbellFlow::new(CcKind::NewReno, 20),
+        DumbbellFlow::new(CcKind::Cubic, 40),
+        DumbbellFlow::new(CcKind::NewReno, 80),
+    ];
+    let run = |pool: TrialPool| {
+        run_dumbbell_trials(
+            pool,
+            &flows,
+            rate_bps,
+            200,
+            Discipline::Cebinae,
+            Duration::from_secs(secs),
+            &seeds,
+        )
+    };
+    let (serial_ms, batch_s) = time_reps(opts.reps, || run(serial.pool()));
+    let (parallel_ms, batch_p) = time_reps(opts.reps, || run(parallel.pool()));
+    let events: u64 = batch_s.iter().map(|m| m.result.events_processed).sum();
+    Outcome {
+        name: "dumbbell-trial-batch",
+        serial_ms,
+        parallel_ms,
+        identical: batch_fingerprint(&batch_s) == batch_fingerprint(&batch_p),
+        events_per_run: events,
+    }
+}
+
+fn render_json(opts: &Opts, cores: usize, threads: usize, outcomes: &[Outcome]) -> String {
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"schema\": \"cebinae-bench-experiments-v1\",");
+    let _ = writeln!(j, "  \"cores\": {cores},");
+    let _ = writeln!(j, "  \"threads_parallel\": {threads},");
+    let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(j, "  \"reps\": {},", opts.reps);
+    let _ = writeln!(j, "  \"experiments\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", o.name);
+        let _ = writeln!(j, "      \"serial_ms\": {:.3},", o.serial_ms);
+        let _ = writeln!(j, "      \"parallel_ms\": {:.3},", o.parallel_ms);
+        let _ = writeln!(j, "      \"speedup\": {:.3},", o.speedup());
+        let _ = writeln!(j, "      \"identical\": {},", o.identical);
+        let eps = if o.events_per_run > 0 {
+            o.events_per_run as f64 / (o.serial_ms / 1e3)
+        } else {
+            0.0
+        };
+        let eps_par = if o.events_per_run > 0 {
+            o.events_per_run as f64 / (o.parallel_ms / 1e3)
+        } else {
+            0.0
+        };
+        let _ = writeln!(j, "      \"events_per_sec_serial\": {eps:.0},");
+        let _ = writeln!(j, "      \"events_per_sec_parallel\": {eps_par:.0}");
+        let _ = writeln!(j, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ]");
+    j.push_str("}\n");
+    j
+}
+
+fn main() {
+    let opts = parse_opts();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Even on one core the parallel twin runs with >=2 workers, so the
+    // identity check always exercises the pool's cross-thread path.
+    let threads = cebinae_par::threads_from_env().max(2);
+    let serial = Ctx::serial(false, 1);
+    let parallel = Ctx { threads, ..serial };
+    eprintln!(
+        "cebinae-bench: cores={cores} threads_parallel={threads} reps={} {}",
+        opts.reps,
+        if opts.smoke { "(smoke)" } else { "(full)" },
+    );
+
+    let outcomes = vec![
+        bench_fig13(&opts, &serial, &parallel),
+        bench_dumbbell(&opts, &serial, &parallel),
+    ];
+
+    let json = render_json(&opts, cores, threads, &outcomes);
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("cebinae-bench: cannot write {}: {e}", opts.out);
+        std::process::exit(2);
+    }
+    print!("{json}");
+    eprintln!("cebinae-bench: wrote {}", opts.out);
+
+    if opts.check {
+        let mut failed = false;
+        for o in &outcomes {
+            if !o.identical {
+                eprintln!("CHECK FAILED: {} parallel output differs from serial", o.name);
+                failed = true;
+            }
+            if cores >= 2 && o.speedup() < 1.0 {
+                eprintln!(
+                    "CHECK FAILED: {} parallel slower than serial ({:.3}x) on {cores} cores",
+                    o.name,
+                    o.speedup()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("cebinae-bench: checks passed");
+    }
+}

@@ -166,12 +166,11 @@ mod tests {
         assert!(!r.trace.is_empty());
         // Enqueues >= dequeues; some drops expected at this small buffer.
         use cebinae_net::TraceEvent;
-        let enq = r.trace.records().iter().filter(|x| x.event == TraceEvent::Enqueue).count();
-        let deq = r.trace.records().iter().filter(|x| x.event == TraceEvent::Dequeue).count();
+        let enq = r.trace.records().filter(|x| x.event == TraceEvent::Enqueue).count();
+        let deq = r.trace.records().filter(|x| x.event == TraceEvent::Dequeue).count();
         let drops = r
             .trace
             .records()
-            .iter()
             .filter(|x| matches!(x.event, TraceEvent::Drop(_)))
             .count();
         assert!(enq >= deq, "enq {enq} deq {deq}");

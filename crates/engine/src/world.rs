@@ -17,7 +17,7 @@ use cebinae_net::{
     QdiscStats, TraceEvent, TraceRecord, Topology,
 };
 use cebinae_sim::rng::DetRng;
-use cebinae_sim::{tx_time, Duration, EventQueue, Time};
+use cebinae_sim::{tx_time, Duration, EventQueue, Time, TimerId};
 use cebinae_transport::{TcpConfig, TcpOutput, TcpReceiver, TcpSender, TimerAction};
 
 /// Which discipline to install on a link.
@@ -103,7 +103,7 @@ enum Ev {
     QdiscControl { link: LinkId },
     FlowStart { flow: FlowId },
     Rto { flow: FlowId },
-    Pace { flow: FlowId, at: Time },
+    Pace { flow: FlowId },
     Sample,
 }
 
@@ -124,9 +124,13 @@ struct FlowRt {
     completed_at: Option<Time>,
     /// Current RTO deadline; events that fire early re-arm themselves.
     rto_deadline: Option<Time>,
-    /// Earliest scheduled RTO event (to avoid flooding the queue).
-    rto_scheduled: Option<Time>,
-    pace_scheduled: Option<Time>,
+    /// Pending RTO event: (scheduled instant, queue handle). Deadlines that
+    /// move *later* leave the event in place and re-arm on fire (cheap ACK
+    /// path); earlier deadlines and cancellations remove it from the heap
+    /// lazily via [`EventQueue::cancel`].
+    rto_timer: Option<(Time, TimerId)>,
+    /// Pending pace event: (pace deadline, queue handle).
+    pace_timer: Option<(Time, TimerId)>,
 }
 
 /// Per-flow diagnostic snapshot at simulation end.
@@ -226,7 +230,9 @@ pub struct Simulation {
     fault_drop: f64,
     rng: DetRng,
     monitored: Vec<LinkId>,
-    traced_links: Vec<LinkId>,
+    /// Per-link trace flag, indexed by `LinkId` — the per-packet path does
+    /// an O(1) load here instead of scanning the configured link list.
+    traced: Vec<bool>,
     trace: PacketTrace,
     goodput: GoodputSeries,
     link_tx_series: Vec<(Time, Vec<u64>)>,
@@ -285,13 +291,18 @@ impl Simulation {
                 start: f.start,
                 completed_at: None,
                 rto_deadline: None,
-                rto_scheduled: None,
-                pace_scheduled: None,
+                rto_timer: None,
+                pace_timer: None,
             });
         }
 
         let flow_ids: Vec<FlowId> = (0..flow_rts.len()).map(FlowId::from).collect();
         let goodput = GoodputSeries::new(flow_ids, sample_interval);
+
+        let mut traced = vec![false; topology.links().len()];
+        for l in &traced_links {
+            traced[l.index()] = true;
+        }
 
         let mut sim = Simulation {
             links,
@@ -303,7 +314,7 @@ impl Simulation {
             rng: DetRng::seed_from_u64(seed ^ 0x5eed),
             monitored: monitored_links,
             trace: PacketTrace::with_capacity(trace_capacity),
-            traced_links,
+            traced,
             goodput,
             link_tx_series: Vec::new(),
             saturated_series: Vec::new(),
@@ -381,13 +392,13 @@ impl Simulation {
                 self.apply_output(now, flow, out);
             }
             Ev::Rto { flow } => self.on_rto_event(now, flow),
-            Ev::Pace { flow, at } => {
+            Ev::Pace { flow } => {
+                // Obsolete pace events are cancelled at re-arm time, so any
+                // that fires is current.
                 let f = &mut self.flows[flow.index()];
-                if f.pace_scheduled == Some(at) {
-                    f.pace_scheduled = None;
-                    let out = f.sender.on_pace_timer(now);
-                    self.apply_output(now, flow, out);
-                }
+                f.pace_timer = None;
+                let out = f.sender.on_pace_timer(now);
+                self.apply_output(now, flow, out);
             }
             Ev::Sample => {
                 self.take_sample(now);
@@ -439,7 +450,7 @@ impl Simulation {
 
     /// Enqueue a packet on a link and start transmission if idle.
     fn enqueue_link(&mut self, now: Time, link: LinkId, pkt: Packet) {
-        let traced = self.traced_links.contains(&link);
+        let traced = self.traced[link.index()];
         if self.fault_drop > 0.0 && self.rng.gen_bool(self.fault_drop) {
             if traced {
                 self.trace.push(TraceRecord::from_packet(
@@ -481,7 +492,7 @@ impl Simulation {
         let Some(pkt) = l.qdisc.dequeue(now) else {
             return;
         };
-        if self.traced_links.contains(&link) {
+        if self.traced[link.index()] {
             self.trace
                 .push(TraceRecord::from_packet(now, link, &pkt, TraceEvent::Dequeue));
         }
@@ -549,50 +560,65 @@ impl Simulation {
             pkt.hop = 0;
             self.enqueue_link(now, first, pkt);
         }
-        let f = &mut self.flows[flow.index()];
         match out.rto {
             Some(TimerAction::Set(t)) => {
-                f.rto_deadline = Some(t);
-                let need_schedule = match f.rto_scheduled {
+                self.flows[flow.index()].rto_deadline = Some(t);
+                // Deadlines that move later are handled lazily at fire time
+                // (the common per-ACK case: zero heap operations). Only an
+                // *earlier* deadline replaces the scheduled event.
+                let timer = self.flows[flow.index()].rto_timer;
+                let reschedule = match timer {
                     None => true,
-                    Some(s) => t < s,
+                    Some((s, id)) if t < s => {
+                        self.events.cancel(id);
+                        true
+                    }
+                    Some(_) => false,
                 };
-                if need_schedule {
-                    f.rto_scheduled = Some(t);
-                    self.events.schedule(t, Ev::Rto { flow });
+                if reschedule {
+                    let id = self.events.schedule_timer(t, Ev::Rto { flow });
+                    self.flows[flow.index()].rto_timer = Some((t, id));
                 }
             }
             Some(TimerAction::Cancel) => {
+                let f = &mut self.flows[flow.index()];
                 f.rto_deadline = None;
+                if let Some((_, id)) = f.rto_timer.take() {
+                    self.events.cancel(id);
+                }
             }
             None => {}
         }
         if let Some(at) = out.pace_at {
-            let f = &mut self.flows[flow.index()];
-            let need = match f.pace_scheduled {
+            let timer = self.flows[flow.index()].pace_timer;
+            let reschedule = match timer {
                 None => true,
-                Some(s) => at < s,
+                Some((s, id)) if at < s => {
+                    self.events.cancel(id);
+                    true
+                }
+                Some(_) => false,
             };
-            if need {
-                f.pace_scheduled = Some(at);
-                self.events.schedule(at.max(now), Ev::Pace { flow, at });
+            if reschedule {
+                let id = self.events.schedule_timer(at.max(now), Ev::Pace { flow });
+                self.flows[flow.index()].pace_timer = Some((at, id));
             }
         }
     }
 
     fn on_rto_event(&mut self, now: Time, flow: FlowId) {
-        let f = &mut self.flows[flow.index()];
-        f.rto_scheduled = None;
-        match f.rto_deadline {
+        self.flows[flow.index()].rto_timer = None;
+        match self.flows[flow.index()].rto_deadline {
             Some(d) if d <= now => {
+                let f = &mut self.flows[flow.index()];
                 f.rto_deadline = None;
                 let out = f.sender.on_rto_timer(now);
                 self.apply_output(now, flow, out);
             }
             Some(d) => {
                 // Deadline moved later (ACKs arrived); re-arm lazily.
-                f.rto_scheduled = Some(d);
-                self.events.schedule(d, Ev::Rto { flow });
+                let id = self.events.schedule_timer(d, Ev::Rto { flow });
+                self.flows[flow.index()].rto_timer = Some((d, id));
             }
             None => {}
         }

@@ -26,12 +26,15 @@ pub fn p_sensitivity(ctx: &Ctx) -> String {
     let flows = contested_flows();
     let duration = ctx.secs(30, 100);
     let mut t = Table::new(&["P", "JFI", "goodput[Mbps]", "saturated-frac"]);
-    for p_val in [1u32, 2, 4, 8, 16] {
+    const P_VALUES: [u32; 5] = [1, 2, 4, 8, 16];
+    let results = ctx.pool().map(P_VALUES.to_vec(), |_, p_val| {
         let mut p = ScenarioParams::new(400_000_000, 2000, Discipline::Cebinae);
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(p_val);
-        let m = run_with_params(&flows, &p);
+        run_with_params(&flows, &p)
+    });
+    for (p_val, m) in P_VALUES.iter().zip(&results) {
         let sat = m
             .result
             .saturated_series
@@ -45,7 +48,6 @@ pub fn p_sensitivity(ctx: &Ctx) -> String {
             mbps(m.goodput_bps),
             format!("{:.2}", sat),
         ]);
-        eprintln!("ablation P={p_val} done");
     }
     t.render()
 }
@@ -56,12 +58,15 @@ pub fn per_flow_top(ctx: &Ctx) -> String {
     flows.push(DumbbellFlow::new(CcKind::NewReno, 50));
     let duration = ctx.secs(30, 100);
     let mut t = Table::new(&["variant", "JFI", "goodput[Mbps]", "hog[Mbps]"]);
-    for d in [Discipline::Cebinae, Discipline::CebinaePerFlowTop] {
+    let variants = vec![Discipline::Cebinae, Discipline::CebinaePerFlowTop];
+    let results = ctx.pool().map(variants.clone(), |_, d| {
         let mut p = ScenarioParams::new(100_000_000, 850, d);
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(1);
-        let m = run_with_params(&flows, &p);
+        run_with_params(&flows, &p)
+    });
+    for (d, m) in variants.iter().zip(&results) {
         t.row(vec![
             d.label().into(),
             format!("{:.3}", m.jfi),
@@ -79,25 +84,27 @@ pub fn disciplines(ctx: &Ctx) -> String {
     flows.push(DumbbellFlow::new(CcKind::NewReno, 50));
     let duration = ctx.secs(30, 100);
     let mut t = Table::new(&["discipline", "JFI", "tput[Mbps]", "goodput[Mbps]"]);
-    for d in [
+    let all = vec![
         Discipline::Fifo,
         Discipline::FqCoDel,
         Discipline::Afq,
         Discipline::Cebinae,
         Discipline::CebinaePerFlowTop,
-    ] {
+    ];
+    let results = ctx.pool().map(all.clone(), |_, d| {
         let mut p = ScenarioParams::new(100_000_000, 850, d);
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(1);
-        let m = run_with_params(&flows, &p);
+        run_with_params(&flows, &p)
+    });
+    for (d, m) in all.iter().zip(&results) {
         t.row(vec![
             d.label().into(),
             format!("{:.3}", m.jfi),
             mbps(m.throughput_bps),
             mbps(m.goodput_bps),
         ]);
-        eprintln!("ablation discipline {} done", d.label());
     }
     t.render()
 }
@@ -107,7 +114,7 @@ pub fn disciplines(ctx: &Ctx) -> String {
 pub fn ecn(ctx: &Ctx) -> String {
     let duration = ctx.secs(30, 100);
     let mut t = Table::new(&["mode", "JFI", "goodput[Mbps]", "marked-pkts", "lbf-drops"]);
-    for enable_ecn in [false, true] {
+    let rows = ctx.pool().map(vec![false, true], |_, enable_ecn| {
         let mut flows: Vec<_> = (0..8)
             .map(|_| DumbbellFlow::new(CcKind::NewReno, 40))
             .collect();
@@ -140,13 +147,16 @@ pub fn ecn(ctx: &Ctx) -> String {
             .last()
             .map(|(_, s)| s[0])
             .unwrap_or_default();
-        t.row(vec![
+        vec![
             if enable_ecn { "ECN" } else { "loss-only" }.into(),
             format!("{:.3}", cebinae_metrics::jfi(&g)),
             mbps(g.iter().sum()),
             stats.ecn_marked.to_string(),
             ceb.lbf_drops.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.render()
 }
@@ -165,7 +175,7 @@ mod tests {
     #[test]
     fn ecn_ablation_smoke() {
         // A very short run just exercising both paths end to end.
-        let ctx = Ctx { full: false, seed: 1 };
+        let ctx = Ctx::serial(false, 1);
         let _ = ctx;
         let flows = vec![
             DumbbellFlow::new(CcKind::NewReno, 20),

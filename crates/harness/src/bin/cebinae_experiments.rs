@@ -1,7 +1,7 @@
 //! CLI for regenerating the paper's tables and figures.
 //!
 //! ```text
-//! cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N]
+//! cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N] [--threads N]
 //! cebinae-experiments all [--full]
 //! cebinae-experiments list
 //! ```
@@ -10,13 +10,16 @@ use cebinae_harness::{run_experiment, Ctx, EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N]\n\
+        "usage: cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N] [--threads N]\n\
          \n\
          experiments: {}\n\
          special:     all (every experiment), list (print names)\n\
-         flags:       --full   paper-duration runs (100 s, 100 trials)\n\
-                      --rows   table2 row filter (comma-separated ids)\n\
-                      --seed   RNG seed / trial index (default 1)",
+         flags:       --full     paper-duration runs (100 s, 100 trials)\n\
+                      --rows     table2 row filter (comma-separated ids)\n\
+                      --seed     RNG seed / trial index (default 1)\n\
+                      --threads  trial-pool workers (default CEBINAE_THREADS\n\
+                                 or the machine's cores; output is identical\n\
+                                 for any value)",
         EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -46,6 +49,13 @@ fn main() {
                 ctx.seed = it
                     .next()
                     .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                ctx.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage());
             }
             "list" => {

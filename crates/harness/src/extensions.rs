@@ -28,10 +28,13 @@ pub fn fct(ctx: &Ctx) -> String {
         "mice-done",
         "elephant[Mbps]",
     ]);
-    for d in [Discipline::Fifo, Discipline::FqCoDel, Discipline::Cebinae] {
+    let disciplines = vec![Discipline::Fifo, Discipline::FqCoDel, Discipline::Cebinae];
+    let rows = ctx.pool().map(disciplines, |_, d| {
         // 4 elephants with infinite demand.
         let mut flows: Vec<_> = (0..4).map(|_| DumbbellFlow::new(CcKind::Cubic, 40)).collect();
-        // Poisson mice from t=3s on (NewReno, the common case).
+        // Poisson mice from t=3s on (NewReno, the common case). The same
+        // seeded arrival process is rebuilt per discipline, so every job is
+        // self-contained.
         let workload = MiceWorkload {
             arrivals_per_sec: 10.0,
             from: Time::from_secs(3),
@@ -68,25 +71,26 @@ pub fn fct(ctx: &Ctx) -> String {
             .iter()
             .sum();
         if fcts_ms.is_empty() {
-            t.row(vec![
+            return vec![
                 d.label().into(),
                 "-".into(),
                 "-".into(),
                 "-".into(),
                 "0".into(),
                 mbps(elephant_bps),
-            ]);
-            continue;
+            ];
         }
-        t.row(vec![
+        vec![
             d.label().into(),
             format!("{:.1}", percentile(&fcts_ms, 50.0)),
             format!("{:.1}", percentile(&fcts_ms, 95.0)),
             format!("{:.1}", percentile(&fcts_ms, 99.0)),
             format!("{done}/{}", arrivals.len()),
             mbps(elephant_bps),
-        ]);
-        eprintln!("ext-fct: {} done", d.label());
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.render()
 }

@@ -83,12 +83,11 @@ pub fn measure(
     }
 }
 
-fn trace_cfg(ctx: &Ctx, round_interval: Duration) -> TraceConfig {
-    // Cover at least 10 measured intervals; keep the paper's >400k
-    // flows/min arrival rate with second-scale durations so thousands of
-    // flows are concurrently active per interval (backbone-like
-    // concurrency relative to the cache's slot count).
-    let _ = ctx;
+/// The paper's trace model: cover at least 10 measured intervals; keep the
+/// >400k flows/min arrival rate with second-scale durations so thousands
+/// of flows are concurrently active per interval (backbone-like
+/// concurrency relative to the cache's slot count).
+pub fn paper_trace_cfg(round_interval: Duration) -> TraceConfig {
     let duration = Duration(round_interval.as_nanos() * 10).max(Duration::from_secs(2));
     TraceConfig {
         duration,
@@ -100,53 +99,125 @@ fn trace_cfg(ctx: &Ctx, round_interval: Duration) -> TraceConfig {
     }
 }
 
-/// Figure 13a: FPR/FNR vs round interval (2048 slots).
-pub fn fig13a(ctx: &Ctx) -> String {
-    let trials = if ctx.full { 100 } else { 10 };
-    let slots = 2048;
+/// A ~100x lighter trace model with the same shape, for determinism tests
+/// and bench smoke runs where the paper-scale trace would dominate.
+pub fn light_trace_cfg(round_interval: Duration) -> TraceConfig {
+    let duration = Duration(round_interval.as_nanos() * 10).max(Duration::from_millis(500));
+    TraceConfig {
+        duration,
+        aggregate_rate_bps: 1e9,
+        flows_per_minute: 60_000.0,
+        min_duration: Duration::from_millis(50),
+        max_duration: Duration::from_secs(2),
+        ..TraceConfig::default()
+    }
+}
+
+/// Cache geometries swept by Figure 13 (number of stages).
+const STAGES: [usize; 3] = [1, 2, 4];
+
+/// Core of Figure 13a, parameterized over trace model and sweep size so
+/// tests and benches can run scaled-down versions: measure detection
+/// accuracy for every (round interval, stages) cell, averaging `trials`
+/// independent seeded trials per cell.
+///
+/// Each (interval, stages, trial) triple is one job on the ctx's trial
+/// pool. Per-cell sums are folded **in trial order** during assembly, so
+/// the float accumulation — and therefore the rendered table — is
+/// byte-identical for any thread count.
+pub fn interval_sweep<F>(
+    ctx: &Ctx,
+    intervals_ms: &[u64],
+    slots: usize,
+    trials: u64,
+    trace_label: &str,
+    cfg_for: F,
+) -> String
+where
+    F: Fn(Duration) -> TraceConfig + Sync,
+{
+    let mut jobs = Vec::new();
+    for &ms in intervals_ms {
+        for &stages in &STAGES {
+            for trial in 0..trials {
+                jobs.push((ms, stages, trial));
+            }
+        }
+    }
+    let cfg_for = &cfg_for;
+    let results = ctx.pool().map(jobs, |_, (ms, stages, trial)| {
+        let interval = Duration::from_millis(ms);
+        let mut rng = experiment_rng(trace_label, trial);
+        let trace = SyntheticTrace::generate(cfg_for(interval), &mut rng);
+        let flows = trace.active_flows(Time::ZERO, Time::ZERO + interval);
+        let a = measure(&trace, stages, slots, interval, trial);
+        (a.fpr, a.fnr, flows)
+    });
     let mut t = Table::new(&[
         "interval[ms]", "stages", "FPR[1e-4]", "FNR", "flows/interval",
     ]);
-    for interval_ms in [10u64, 20, 40, 60, 80, 100] {
-        let interval = Duration::from_millis(interval_ms);
-        for stages in [1usize, 2, 4] {
+    let mut it = results.into_iter();
+    for &ms in intervals_ms {
+        for &stages in &STAGES {
             let mut acc = Accuracy::default();
             let mut flows_per_interval = 0usize;
-            for trial in 0..trials {
-                let mut rng = experiment_rng("fig13a-trace", trial);
-                let trace = SyntheticTrace::generate(trace_cfg(ctx, interval), &mut rng);
-                flows_per_interval = trace.active_flows(Time::ZERO, Time::ZERO + interval);
-                let a = measure(&trace, stages, slots, interval, trial);
-                acc.fpr += a.fpr;
-                acc.fnr += a.fnr;
+            for _ in 0..trials {
+                let (fpr, fnr, flows) = it.next().expect("job/result count mismatch");
+                acc.fpr += fpr;
+                acc.fnr += fnr;
+                flows_per_interval = flows;
             }
             t.row(vec![
-                interval_ms.to_string(),
+                ms.to_string(),
                 stages.to_string(),
                 format!("{:.3}", acc.fpr / trials as f64 * 1e4),
                 format!("{:.3}", acc.fnr / trials as f64),
                 flows_per_interval.to_string(),
             ]);
         }
-        eprintln!("fig13a: interval {interval_ms}ms done");
+        eprintln!("fig13a-style sweep: interval {ms}ms done");
     }
     t.render()
 }
 
-/// Figure 13b: FPR/FNR vs slot count (100 ms interval).
-pub fn fig13b(ctx: &Ctx) -> String {
-    let trials = if ctx.full { 100 } else { 10 };
-    let interval = Duration::from_millis(100);
-    let mut t = Table::new(&["slots", "stages", "FPR[1e-4]", "FNR"]);
-    for slots in [512usize, 1024, 2048, 4096] {
-        for stages in [1usize, 2, 4] {
-            let mut acc = Accuracy::default();
+/// Core of Figure 13b: sweep per-stage slot count at a fixed round
+/// interval, parallelized and assembled exactly like [`interval_sweep`].
+pub fn slot_sweep<F>(
+    ctx: &Ctx,
+    slot_counts: &[usize],
+    interval_ms: u64,
+    trials: u64,
+    trace_label: &str,
+    cfg_for: F,
+) -> String
+where
+    F: Fn(Duration) -> TraceConfig + Sync,
+{
+    let interval = Duration::from_millis(interval_ms);
+    let mut jobs = Vec::new();
+    for &slots in slot_counts {
+        for &stages in &STAGES {
             for trial in 0..trials {
-                let mut rng = experiment_rng("fig13b-trace", trial);
-                let trace = SyntheticTrace::generate(trace_cfg(ctx, interval), &mut rng);
-                let a = measure(&trace, stages, slots, interval, trial);
-                acc.fpr += a.fpr;
-                acc.fnr += a.fnr;
+                jobs.push((slots, stages, trial));
+            }
+        }
+    }
+    let cfg_for = &cfg_for;
+    let results = ctx.pool().map(jobs, |_, (slots, stages, trial)| {
+        let mut rng = experiment_rng(trace_label, trial);
+        let trace = SyntheticTrace::generate(cfg_for(interval), &mut rng);
+        let a = measure(&trace, stages, slots, interval, trial);
+        (a.fpr, a.fnr)
+    });
+    let mut t = Table::new(&["slots", "stages", "FPR[1e-4]", "FNR"]);
+    let mut it = results.into_iter();
+    for &slots in slot_counts {
+        for &stages in &STAGES {
+            let mut acc = Accuracy::default();
+            for _ in 0..trials {
+                let (fpr, fnr) = it.next().expect("job/result count mismatch");
+                acc.fpr += fpr;
+                acc.fnr += fnr;
             }
             t.row(vec![
                 slots.to_string(),
@@ -155,9 +226,35 @@ pub fn fig13b(ctx: &Ctx) -> String {
                 format!("{:.3}", acc.fnr / trials as f64),
             ]);
         }
-        eprintln!("fig13b: slots {slots} done");
+        eprintln!("fig13b-style sweep: slots {slots} done");
     }
     t.render()
+}
+
+/// Figure 13a: FPR/FNR vs round interval (2048 slots).
+pub fn fig13a(ctx: &Ctx) -> String {
+    let trials = if ctx.full { 100 } else { 10 };
+    interval_sweep(
+        ctx,
+        &[10, 20, 40, 60, 80, 100],
+        2048,
+        trials,
+        "fig13a-trace",
+        paper_trace_cfg,
+    )
+}
+
+/// Figure 13b: FPR/FNR vs slot count (100 ms interval).
+pub fn fig13b(ctx: &Ctx) -> String {
+    let trials = if ctx.full { 100 } else { 10 };
+    slot_sweep(
+        ctx,
+        &[512, 1024, 2048, 4096],
+        100,
+        trials,
+        "fig13b-trace",
+        paper_trace_cfg,
+    )
 }
 
 #[cfg(test)]
@@ -210,6 +307,15 @@ mod tests {
             f4 += measure(&trace, 4, 64, Duration::from_millis(50), trial).fnr;
         }
         assert!(f4 <= f1, "4 stages must not be worse: {f4} vs {f1}");
+    }
+
+    #[test]
+    fn sweep_output_is_thread_count_invariant() {
+        let serial = Ctx::serial(false, 1);
+        let parallel = Ctx { threads: 4, ..serial };
+        let a = interval_sweep(&serial, &[20], 64, 3, "fig13-par-test", light_trace_cfg);
+        let b = interval_sweep(&parallel, &[20], 64, 3, "fig13-par-test", light_trace_cfg);
+        assert_eq!(a, b, "thread count leaked into rendered output");
     }
 
     #[test]

@@ -19,8 +19,12 @@ pub fn fig1(ctx: &Ctx) -> String {
     let rate = 1_000_000_000;
     let buffer = 850;
 
-    let fifo = run_dumbbell(&flows, rate, buffer, Discipline::Fifo, duration, ctx.seed);
-    let ceb = run_dumbbell(&flows, rate, buffer, Discipline::Cebinae, duration, ctx.seed);
+    let mut runs = ctx.pool().map(
+        vec![Discipline::Fifo, Discipline::Cebinae],
+        |_, d| run_dumbbell(&flows, rate, buffer, d, duration, ctx.seed),
+    );
+    let ceb = runs.pop().expect("two runs");
+    let fifo = runs.pop().expect("two runs");
 
     let mut t = Table::new(&[
         "t[s]", "FIFO-f0[MBps]", "FIFO-f1[MBps]", "Ceb-f0[MBps]", "Ceb-f1[MBps]", "Ceb-state",
@@ -65,15 +69,12 @@ pub fn fig7(ctx: &Ctx) -> String {
     let mut flows: Vec<_> = (0..16).map(|_| DumbbellFlow::new(CcKind::Vegas, 50)).collect();
     flows.push(DumbbellFlow::new(CcKind::NewReno, 50));
     let duration = ctx.secs(40, 100);
-    let fifo = run_dumbbell(&flows, 100_000_000, 850, Discipline::Fifo, duration, ctx.seed);
-    let ceb = run_dumbbell(
-        &flows,
-        100_000_000,
-        850,
-        Discipline::Cebinae,
-        duration,
-        ctx.seed,
+    let mut runs = ctx.pool().map(
+        vec![Discipline::Fifo, Discipline::Cebinae],
+        |_, d| run_dumbbell(&flows, 100_000_000, 850, d, duration, ctx.seed),
     );
+    let ceb = runs.pop().expect("two runs");
+    let fifo = runs.pop().expect("two runs");
     let mut t = Table::new(&["flow", "cca", "FIFO[Mbps]", "Cebinae[Mbps]"]);
     for i in 0..flows.len() {
         t.row(vec![
@@ -108,15 +109,12 @@ pub fn fig8(ctx: &Ctx, variant_b: bool) -> String {
         (f, 4200, "8a: 128 NewReno vs 2 BBR")
     };
     let duration = ctx.secs(15, 100);
-    let fifo = run_dumbbell(&flows, 1_000_000_000, buffer, Discipline::Fifo, duration, ctx.seed);
-    let ceb = run_dumbbell(
-        &flows,
-        1_000_000_000,
-        buffer,
-        Discipline::Cebinae,
-        duration,
-        ctx.seed,
+    let mut runs = ctx.pool().map(
+        vec![Discipline::Fifo, Discipline::Cebinae],
+        |_, d| run_dumbbell(&flows, 1_000_000_000, buffer, d, duration, ctx.seed),
     );
+    let ceb = runs.pop().expect("two runs");
+    let fifo = runs.pop().expect("two runs");
     let mut out = format!("Figure {name} — goodput CDF [Mbps]\n");
     let mut t = Table::new(&["pct", "FIFO", "Cebinae"]);
     let f_cdf = cdf(&fifo.per_flow_bps);
@@ -160,13 +158,22 @@ pub fn fig9(ctx: &Ctx) -> String {
     let mut t = Table::new(&[
         "rtt2[ms]", "JFI-FIFO", "JFI-FQ", "JFI-Ceb", "good-FIFO", "good-FQ", "good-Ceb",
     ]);
-    for rtt2 in [16u64, 32, 64, 128, 256] {
+    // One job per (rtt2, discipline) cell — the whole 5x3 grid runs at
+    // once; rows are assembled in sweep order afterwards.
+    const RTT2: [u64; 5] = [16, 32, 64, 128, 256];
+    let mut jobs = Vec::new();
+    for &rtt2 in &RTT2 {
+        for &d in Discipline::PAPER.iter() {
+            jobs.push((rtt2, d));
+        }
+    }
+    let results = ctx.pool().map(jobs, |_, (rtt2, d)| {
         let mut flows: Vec<_> = (0..4).map(|_| DumbbellFlow::new(CcKind::Cubic, 256)).collect();
         flows.extend((0..4).map(|_| DumbbellFlow::new(CcKind::Cubic, rtt2)));
-        let cells: Vec<_> = Discipline::PAPER
-            .iter()
-            .map(|&d| run_dumbbell(&flows, 400_000_000, buffer_mtus, d, duration, ctx.seed))
-            .collect();
+        run_dumbbell(&flows, 400_000_000, buffer_mtus, d, duration, ctx.seed)
+    });
+    for (i, &rtt2) in RTT2.iter().enumerate() {
+        let cells = &results[i * 3..i * 3 + 3];
         t.row(vec![
             rtt2.to_string(),
             format!("{:.3}", cells[0].jfi),
@@ -176,7 +183,6 @@ pub fn fig9(ctx: &Ctx) -> String {
             mbps(cells[1].goodput_bps),
             mbps(cells[2].goodput_bps),
         ]);
-        eprintln!("fig9: rtt2={rtt2} done");
     }
     t.render()
 }
@@ -189,10 +195,9 @@ pub fn fig10(ctx: &Ctx) -> String {
     flows.push(DumbbellFlow::new(CcKind::NewReno, 40).starting_at(Time::from_secs(5)));
     flows.push(DumbbellFlow::new(CcKind::Cubic, 40).starting_at(Time::from_secs(25)));
 
-    let runs: Vec<_> = Discipline::PAPER
-        .iter()
-        .map(|&d| run_dumbbell(&flows, 100_000_000, 850, d, duration, ctx.seed))
-        .collect();
+    let runs = ctx.pool().map(Discipline::PAPER.to_vec(), |_, d| {
+        run_dumbbell(&flows, 100_000_000, 850, d, duration, ctx.seed)
+    });
 
     let mut t = Table::new(&["t[s]", "JFI-FIFO", "JFI-FQ", "JFI-Ceb"]);
     // Per-second JFI over flows that have started (the paper measures
@@ -236,24 +241,41 @@ pub fn fig12(ctx: &Ctx) -> String {
     let rate = 100_000_000;
     let buffer = 420;
 
-    let fifo = run_dumbbell(&flows, rate, buffer, Discipline::Fifo, duration, ctx.seed);
-    let fq = run_dumbbell(&flows, rate, buffer, Discipline::FqCoDel, duration, ctx.seed);
+    // References and the 8-point threshold sweep are all independent: one
+    // job each, run as a single batch.
+    const PCTS: [f64; 8] = [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0];
+    enum Spec {
+        Reference(Discipline),
+        Threshold(f64),
+    }
+    let mut specs = vec![
+        Spec::Reference(Discipline::Fifo),
+        Spec::Reference(Discipline::FqCoDel),
+    ];
+    specs.extend(PCTS.iter().map(|&pct| Spec::Threshold(pct)));
+    let mut results = ctx.pool().map(specs, |_, spec| match spec {
+        Spec::Reference(d) => run_dumbbell(&flows, rate, buffer, d, duration, ctx.seed),
+        Spec::Threshold(pct) => {
+            let th = pct / 100.0;
+            let mut p = cebinae_engine::ScenarioParams::new(rate, buffer, Discipline::Cebinae);
+            p.duration = duration;
+            p.seed = ctx.seed;
+            p.cebinae_p = Some(1);
+            p.cebinae_thresholds = (th, th, th);
+            crate::runner::run_with_params(&flows, &p)
+        }
+    });
+    let sweep = results.split_off(2);
+    let fq = results.pop().expect("two references");
+    let fifo = results.pop().expect("two references");
 
     let mut t = Table::new(&["threshold[%]", "JFI", "goodput[Mbps]"]);
-    for pct in [1.0f64, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0] {
-        let th = pct / 100.0;
-        let mut p = cebinae_engine::ScenarioParams::new(rate, buffer, Discipline::Cebinae);
-        p.duration = duration;
-        p.seed = ctx.seed;
-        p.cebinae_p = Some(1);
-        p.cebinae_thresholds = (th, th, th);
-        let m = crate::runner::run_with_params(&flows, &p);
+    for (pct, m) in PCTS.iter().zip(&sweep) {
         t.row(vec![
             format!("{pct}"),
             format!("{:.3}", m.jfi),
             mbps(m.goodput_bps),
         ]);
-        eprintln!("fig12: threshold {pct}% done");
     }
     format!(
         "{}\nreferences: FIFO JFI {:.3} goodput {} | FQ JFI {:.3} goodput {}\n",
@@ -270,7 +292,7 @@ mod tests {
     use super::*;
 
     fn tiny_ctx() -> Ctx {
-        Ctx { full: false, seed: 1 }
+        Ctx::serial(false, 1)
     }
 
     #[test]

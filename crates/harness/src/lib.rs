@@ -8,6 +8,11 @@
 //! Durations are scaled by default (single-core friendly); set
 //! `CEBINAE_FULL=1` or pass `--full` for the paper's 100 s runs and
 //! 100-trial Figure 13 sweeps.
+//!
+//! Independent seeded trials fan out across a [`cebinae_par::TrialPool`]
+//! sized by `CEBINAE_THREADS` (or `--threads`); results are always
+//! collected in job order, so experiment output is byte-identical for any
+//! thread count.
 
 pub mod ablations;
 pub mod extensions;
@@ -41,7 +46,7 @@ pub fn run_experiment(name: &str, ctx: &Ctx, rows: Option<&[usize]>) -> Result<S
         "fig10" => figures::fig10(ctx),
         "fig11" => fig11::run(ctx),
         "fig12" => figures::fig12(ctx),
-        "table3" => table3::run(),
+        "table3" => table3::run(ctx),
         "fig13a" => fig13::fig13a(ctx),
         "fig13b" => fig13::fig13b(ctx),
         "ablation-p" => ablations::p_sensitivity(ctx),
@@ -60,13 +65,13 @@ mod tests {
 
     #[test]
     fn unknown_experiment_is_an_error() {
-        let ctx = Ctx { full: false, seed: 1 };
+        let ctx = Ctx::serial(false, 1);
         assert!(run_experiment("fig99", &ctx, None).is_err());
     }
 
     #[test]
     fn table3_runs_instantly() {
-        let ctx = Ctx { full: false, seed: 1 };
+        let ctx = Ctx::serial(false, 1);
         let out = run_experiment("table3", &ctx, None).unwrap();
         assert!(out.contains("SRAM"));
     }

@@ -3,6 +3,7 @@
 
 use cebinae_engine::{dumbbell, Discipline, DumbbellFlow, ScenarioParams, SimResult, Simulation};
 use cebinae_metrics::jfi;
+use cebinae_par::TrialPool;
 use cebinae_sim::{Duration, Time};
 
 /// Global experiment context: scaled (default) or full paper durations.
@@ -12,6 +13,10 @@ pub struct Ctx {
     pub full: bool,
     /// Base RNG seed / trial index.
     pub seed: u64,
+    /// Worker threads for independent seeded trials (`CEBINAE_THREADS`).
+    /// Experiment output is byte-identical for any value — trials are
+    /// collected in job order, never completion order.
+    pub threads: usize,
 }
 
 impl Ctx {
@@ -19,7 +24,23 @@ impl Ctx {
         Ctx {
             full: std::env::var_os("CEBINAE_FULL").is_some(),
             seed: 1,
+            threads: cebinae_par::threads_from_env(),
         }
+    }
+
+    /// Serial context with the given flags — the configuration every unit
+    /// test uses, and the reproducibility reference for parallel runs.
+    pub fn serial(full: bool, seed: u64) -> Ctx {
+        Ctx {
+            full,
+            seed,
+            threads: 1,
+        }
+    }
+
+    /// The trial pool experiments fan their independent seeded jobs onto.
+    pub fn pool(&self) -> TrialPool {
+        TrialPool::with_threads(self.threads)
     }
 
     /// Choose the simulated duration: the paper's `full_secs` when running
@@ -77,6 +98,23 @@ pub fn run_with_params(flows: &[DumbbellFlow], p: &ScenarioParams) -> RunMetrics
     }
 }
 
+/// Run the same dumbbell scenario under a batch of seeds, one independent
+/// simulation per seed, fanned across `pool`. Results come back in seed
+/// order regardless of thread count.
+pub fn run_dumbbell_trials(
+    pool: TrialPool,
+    flows: &[DumbbellFlow],
+    rate_bps: u64,
+    buffer_mtus: u64,
+    discipline: Discipline,
+    duration: Duration,
+    seeds: &[u64],
+) -> Vec<RunMetrics> {
+    pool.map(seeds.to_vec(), |_, seed| {
+        run_dumbbell(flows, rate_bps, buffer_mtus, discipline, duration, seed)
+    })
+}
+
 /// Render a rate in the paper's Table 2 style (Mbps with 4-5 significant
 /// digits).
 pub fn mbps(bps: f64) -> String {
@@ -127,7 +165,7 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -164,10 +202,11 @@ mod tests {
 
     #[test]
     fn ctx_scaling() {
-        let scaled = Ctx { full: false, seed: 0 };
-        let full = Ctx { full: true, seed: 0 };
+        let scaled = Ctx::serial(false, 0);
+        let full = Ctx::serial(true, 0);
         assert_eq!(scaled.secs(10, 100), Duration::from_secs(10));
         assert_eq!(full.secs(10, 100), Duration::from_secs(100));
+        assert_eq!(scaled.pool().threads(), 1);
     }
 
     #[test]
@@ -187,5 +226,47 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
         assert_eq!(lines[2].trim_start().split_whitespace().count(), 2);
+    }
+
+    #[test]
+    fn table_with_zero_columns_renders() {
+        // Regression: `2 * (widths.len() - 1)` underflowed with no columns.
+        let t = Table::new(&[]);
+        let s = t.render();
+        assert_eq!(s, "\n\n");
+    }
+
+    #[test]
+    fn trial_batch_matches_individual_runs() {
+        let flows = vec![
+            DumbbellFlow::new(CcKind::NewReno, 20),
+            DumbbellFlow::new(CcKind::NewReno, 20),
+        ];
+        let seeds = [1u64, 2, 3];
+        let batch = run_dumbbell_trials(
+            cebinae_par::TrialPool::with_threads(4),
+            &flows,
+            10_000_000,
+            100,
+            Discipline::Fifo,
+            Duration::from_secs(2),
+            &seeds,
+        );
+        assert_eq!(batch.len(), seeds.len());
+        for (m, &seed) in batch.iter().zip(&seeds) {
+            let solo = run_dumbbell(
+                &flows,
+                10_000_000,
+                100,
+                Discipline::Fifo,
+                Duration::from_secs(2),
+                seed,
+            );
+            assert_eq!(m.per_flow_bps, solo.per_flow_bps, "seed {seed}");
+            assert_eq!(
+                m.result.events_processed, solo.result.events_processed,
+                "seed {seed}"
+            );
+        }
     }
 }

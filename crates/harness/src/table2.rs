@@ -130,15 +130,23 @@ pub fn run(ctx: &Ctx, selected: Option<&[usize]>) -> String {
         "row", "config", "tput-FIFO", "tput-FQ", "tput-Ceb", "good-FIFO", "good-FQ", "good-Ceb",
         "JFI-FIFO", "JFI-FQ", "JFI-Ceb",
     ]);
-    for row in rows() {
-        if let Some(sel) = selected {
-            if !sel.contains(&row.id) {
-                continue;
-            }
+    let selected_rows: Vec<Row> = rows()
+        .into_iter()
+        .filter(|row| selected.is_none_or(|sel| sel.contains(&row.id)))
+        .collect();
+    // Every (row, discipline) cell is an independent simulation: flatten
+    // the whole table into one job batch and reassemble in row order.
+    let mut jobs = Vec::new();
+    for row in &selected_rows {
+        for &d in Discipline::PAPER.iter() {
+            jobs.push((row.clone(), d));
         }
-        let cells: Vec<Cell> = Discipline::PAPER
-            .iter()
-            .map(|&d| run_row(ctx, &row, d))
+    }
+    let results = ctx.pool().map(jobs, |_, (row, d)| run_row(ctx, &row, d));
+    let mut it = results.into_iter();
+    for row in &selected_rows {
+        let cells: Vec<Cell> = (0..Discipline::PAPER.len())
+            .map(|_| it.next().expect("job/result count mismatch"))
             .collect();
         t.row(vec![
             row.id.to_string(),
@@ -190,7 +198,7 @@ mod tests {
     #[test]
     fn smoke_run_one_cheap_row() {
         // Row 1 at a very short duration: just verify plumbing end-to-end.
-        let ctx = Ctx { full: false, seed: 1 };
+        let ctx = Ctx::serial(false, 1);
         let row = &rows()[0];
         let m = run_dumbbell(
             &row.flows(),

@@ -6,9 +6,17 @@ use cebinae::resources::{
     model_usage, scalability_point, table3_rows, utilization_fractions, SwitchProfile,
 };
 
-use crate::runner::Table;
+use crate::runner::{Ctx, Table};
 
-pub fn run() -> String {
+pub fn run(ctx: &Ctx) -> String {
+    // The two sections are independent computations; run them as one job
+    // batch and concatenate in section order.
+    let jobs: Vec<Box<dyn FnOnce() -> String + Send>> =
+        vec![Box::new(resource_section), Box::new(scalability_section)];
+    ctx.pool().run(jobs).concat()
+}
+
+fn resource_section() -> String {
     let mut out = String::new();
     out.push_str("Table 3 — modeled Tofino resource usage (published values in parentheses)\n");
     let mut t = Table::new(&[
@@ -33,7 +41,11 @@ pub fn run() -> String {
     for (name, frac) in utilization_fractions(&usage, &profile) {
         out.push_str(&format!("  {name:16} {:.1}%\n", frac * 100.0));
     }
+    out
+}
 
+fn scalability_section() -> String {
+    let mut out = String::new();
     out.push_str("\nEquation 1 scalability (queues needed per flow-buffer requirement):\n");
     let mut t2 = Table::new(&[
         "scenario", "flows", "buffer_req", "AFQ queues @BpR=12KB", "AFQ BpR @32q", "Cebinae queues",
@@ -60,12 +72,21 @@ pub fn run() -> String {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn table3_renders_all_sections() {
-        let out = super::run();
+        let out = run(&Ctx::serial(false, 1));
         assert!(out.contains("Table 3"));
         assert!(out.contains("2448"));
         assert!(out.contains("Equation 1"));
         assert!(out.contains("Cebinae queues"));
+    }
+
+    #[test]
+    fn table3_is_thread_count_invariant() {
+        let serial = run(&Ctx::serial(false, 1));
+        let parallel = run(&Ctx { threads: 4, ..Ctx::serial(false, 1) });
+        assert_eq!(serial, parallel);
     }
 }

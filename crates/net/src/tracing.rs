@@ -2,6 +2,7 @@
 //! a per-link record of enqueue/dequeue/drop events that tests and
 //! debugging sessions can assert against or dump as text.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use cebinae_sim::Time;
@@ -81,54 +82,69 @@ impl fmt::Display for TraceRecord {
     }
 }
 
-/// A bounded in-memory packet trace.
+/// A bounded in-memory packet trace, stored as a ring buffer.
+///
+/// The ring keeps the **most recent** `cap` records: once full, each push
+/// evicts the oldest record (counted in `truncated`) instead of reallocating
+/// or dropping new data. The backing storage is reserved in full on the
+/// first push — the steady-state trace path is a pointer write, never an
+/// allocation — while untraced simulations that construct a `PacketTrace`
+/// but log nothing pay for no buffer at all.
 #[derive(Debug, Default)]
 pub struct PacketTrace {
-    records: Vec<TraceRecord>,
-    /// Hard cap to keep long simulations from exhausting memory;
-    /// records past the cap are counted but not stored.
+    ring: VecDeque<TraceRecord>,
     cap: usize,
+    /// Oldest records evicted to stay within `cap`.
     pub truncated: u64,
 }
 
 impl PacketTrace {
     pub fn with_capacity(cap: usize) -> PacketTrace {
         PacketTrace {
-            records: Vec::new(),
+            ring: VecDeque::new(),
             cap,
             truncated: 0,
         }
     }
 
     pub fn push(&mut self, r: TraceRecord) {
-        if self.records.len() < self.cap {
-            self.records.push(r);
-        } else {
+        if self.cap == 0 {
+            self.truncated += 1;
+            return;
+        }
+        if self.ring.capacity() < self.cap {
+            // Lazy one-time preallocation of the whole ring.
+            self.ring.reserve_exact(self.cap - self.ring.len());
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
             self.truncated += 1;
         }
+        self.ring.push_back(r);
     }
 
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// Stored records, oldest first.
+    pub fn records(&self) -> impl ExactSizeIterator<Item = &TraceRecord> {
+        self.ring.iter()
     }
 
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.ring.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.ring.is_empty()
     }
 
     /// Records for one flow, in order.
     pub fn for_flow(&self, flow: FlowId) -> impl Iterator<Item = &TraceRecord> {
-        self.records.iter().filter(move |r| r.flow == flow)
+        self.ring.iter().filter(move |r| r.flow == flow)
     }
 
-    /// Render as text (one record per line).
+    /// Render as text (one record per line, oldest first).
     pub fn dump(&self) -> String {
         let mut out = String::new();
-        for r in &self.records {
+        for r in &self.ring {
             out.push_str(&r.to_string());
             out.push('\n');
         }
@@ -175,6 +191,31 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.truncated, 3);
         assert!(t.dump().contains("3 records truncated"));
+        // Ring semantics: the most recent records survive, oldest first.
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, [3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut t = PacketTrace::with_capacity(0);
+        t.push(rec(1, 0, 0, TraceEvent::Enqueue));
+        assert!(t.is_empty());
+        assert_eq!(t.truncated, 1);
+    }
+
+    #[test]
+    fn ring_never_reallocates_after_first_push() {
+        let mut t = PacketTrace::with_capacity(8);
+        t.push(rec(0, 0, 0, TraceEvent::Enqueue));
+        let cap_after_first = t.ring.capacity();
+        assert!(cap_after_first >= 8);
+        for i in 1..100 {
+            t.push(rec(i, 0, i, TraceEvent::Enqueue));
+        }
+        assert_eq!(t.ring.capacity(), cap_after_first);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.truncated, 92);
     }
 
     #[test]

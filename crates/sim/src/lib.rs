@@ -24,7 +24,7 @@ pub mod queue;
 pub mod rng;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, TimerId};
 pub use time::{bytes_in, tx_time, Duration, Time, NANOS_PER_SEC};
 
 // Property tests driven by the crate's own seeded generator: each test

@@ -5,9 +5,22 @@
 //! same instant therefore fire in insertion order, which makes every run of
 //! the simulator bit-for-bit reproducible — a property the integration tests
 //! assert and which the experiment harness relies on for seeded trials.
+//!
+//! ## Cancellable timers (lazy delete)
+//!
+//! Timer-like events (TCP RTO, pacing) are scheduled far in the future and
+//! frequently obsoleted before they fire. Removing an arbitrary entry from a
+//! binary heap is O(n), so cancellation is **lazy**: [`EventQueue::cancel`]
+//! records the timer's id in a tombstone set and the entry is discarded the
+//! moment it surfaces at the heap top (during [`pop`](EventQueue::pop) or
+//! [`peek_time`](EventQueue::peek_time)) — no dispatch, no payload
+//! construction, no clock movement. When tombstones accumulate past half
+//! the heap, the heap is compacted in one O(n) sweep so cancelled far-future
+//! timers cannot pin memory. Live ordering, including FIFO tie-breaking, is
+//! unaffected.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::Time;
 
@@ -41,12 +54,26 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Handle to a scheduled event, for cancellation. Ids are unique for the
+/// lifetime of the queue (they are the insertion sequence numbers) and are
+/// never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+/// Tombstone count below which compaction is never attempted; keeps tiny
+/// queues from churning.
+const COMPACT_MIN_TOMBSTONES: usize = 64;
+
 /// A priority queue of timestamped events with deterministic FIFO
-/// tie-breaking at equal timestamps.
+/// tie-breaking at equal timestamps and O(log n) lazy cancellation.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Time,
+    /// Sequence numbers of cancelled-but-still-heaped entries.
+    cancelled: BTreeSet<u64>,
+    cancelled_total: u64,
+    discarded_total: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -61,6 +88,9 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Time::ZERO,
+            cancelled: BTreeSet::new(),
+            cancelled_total: 0,
+            discarded_total: 0,
         }
     }
 
@@ -77,6 +107,12 @@ impl<E> EventQueue<E> {
     /// In debug builds, panics if `at` is in the past — scheduling into the
     /// past is always a logic error in a discrete-event simulation.
     pub fn schedule(&mut self, at: Time, event: E) {
+        let _ = self.schedule_timer(at, event);
+    }
+
+    /// Schedule `event` at `at` and return a handle that can later be
+    /// passed to [`cancel`](EventQueue::cancel).
+    pub fn schedule_timer(&mut self, at: Time, event: E) -> TimerId {
         debug_assert!(
             at >= self.now,
             "scheduled event in the past: at={at:?} now={:?}",
@@ -85,35 +121,100 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        TimerId(seq)
     }
 
-    /// Pop the earliest event, advancing the clock to its timestamp.
+    /// Cancel a pending timer. The entry stays in the heap but is silently
+    /// discarded when it reaches the top (lazy delete); heavy tombstone
+    /// build-up triggers an O(n) compaction.
+    ///
+    /// Contract: `id` must refer to an event that has **not yet fired** —
+    /// callers track timer liveness (the simulator clears its handle when
+    /// the event is dispatched). Cancelling an already-fired id is a logic
+    /// error (it would poison `len`); cancelling the same still-pending id
+    /// twice is a no-op returning `false`.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if self.cancelled.insert(id.0) {
+            self.cancelled_total += 1;
+            self.maybe_compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One O(n) sweep dropping every tombstoned entry, run when cancelled
+    /// entries outnumber live ones (and there are enough to matter).
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() < COMPACT_MIN_TOMBSTONES
+            || self.cancelled.len() * 2 <= self.heap.len()
+        {
+            return;
+        }
+        let cancelled = std::mem::take(&mut self.cancelled);
+        self.discarded_total += cancelled.len() as u64;
+        self.heap.retain(|e| !cancelled.contains(&e.seq));
+    }
+
+    /// Pop the earliest live event, advancing the clock to its timestamp.
+    /// Cancelled entries encountered on the way are discarded without
+    /// advancing the clock.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now, "event queue went backwards");
-        self.now = entry.at;
-        Some((entry.at, entry.event))
+        loop {
+            let entry = self.heap.pop()?;
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            if self.cancelled.remove(&entry.seq) {
+                self.discarded_total += 1;
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
     }
 
-    /// Timestamp of the next event without popping it.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+    /// Timestamp of the next live event without popping it. Takes `&mut`
+    /// because cancelled entries at the top are pruned on the way.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        loop {
+            let head = self.heap.peek()?;
+            if !self.cancelled.contains(&head.seq) {
+                return Some(head.at);
+            }
+            let seq = head.seq;
+            self.heap.pop();
+            self.cancelled.remove(&seq);
+            self.discarded_total += 1;
+        }
     }
 
+    /// Number of live (non-cancelled) pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (diagnostic).
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Total number of cancellations requested (diagnostic).
+    #[inline]
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Cancelled entries actually removed so far, lazily or by compaction
+    /// (diagnostic; the remainder still sit in the heap as tombstones).
+    #[inline]
+    pub fn discarded_total(&self) -> u64 {
+        self.discarded_total
     }
 }
 
@@ -193,5 +294,108 @@ mod tests {
         q.pop();
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_timer(Time::from_secs(1), "a");
+        let _b = q.schedule_timer(Time::from_secs(2), "b");
+        let c = q.schedule_timer(Time::from_secs(3), "c");
+        assert!(q.cancel(a));
+        assert!(q.cancel(c));
+        assert_eq!(q.len(), 1);
+        let fired: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(fired, ["b"]);
+        assert_eq!(q.cancelled_total(), 2);
+        assert_eq!(q.discarded_total(), 2);
+    }
+
+    #[test]
+    fn cancelled_head_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        let early = q.schedule_timer(Time::from_secs(1), 1u32);
+        q.schedule(Time::from_secs(5), 2u32);
+        q.cancel(early);
+        // The cancelled 1 s entry is skipped without the clock visiting 1 s.
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (Time::from_secs(5), 2));
+        assert_eq!(q.now(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_timer(Time::from_secs(1), ());
+        q.schedule(Time::from_secs(2), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
+        assert_eq!(q.pop().unwrap().0, Time::from_secs(2));
+    }
+
+    #[test]
+    fn double_cancel_is_a_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_timer(Time::from_secs(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert_eq!(q.cancelled_total(), 1);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn rearm_pattern_preserves_order() {
+        // The simulator's RTO pattern: cancel the pending timer, schedule a
+        // new one at a different deadline, interleaved with data events.
+        let mut q = EventQueue::new();
+        let mut rto = q.schedule_timer(Time::from_millis(300), "rto");
+        for i in 0..10u64 {
+            q.schedule(Time::from_millis(10 * (i + 1)), "data");
+            q.cancel(rto);
+            rto = q.schedule_timer(Time::from_millis(300 + 10 * i), "rto");
+        }
+        let mut fired = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            fired.push((t, e));
+        }
+        assert_eq!(fired.iter().filter(|(_, e)| *e == "rto").count(), 1);
+        assert_eq!(fired.last().unwrap(), &(Time::from_millis(390), "rto"));
+        assert_eq!(fired.len(), 11);
+    }
+
+    #[test]
+    fn compaction_drops_far_future_tombstones() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..200u64)
+            .map(|i| q.schedule_timer(Time::from_secs(1000 + i), i))
+            .collect();
+        q.schedule(Time::from_secs(1), u64::MAX);
+        // Cancel enough for tombstones to outnumber live entries.
+        for id in &ids[..150] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 51);
+        // At least one compaction fired (tombstones exceeded half the heap),
+        // physically removing a batch of entries without any pops.
+        assert!(q.discarded_total() >= COMPACT_MIN_TOMBSTONES as u64);
+        let fired: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(fired.len(), 51);
+        assert_eq!(fired[0], u64::MAX);
+        assert_eq!(fired[1..], (150..200u64).collect::<Vec<_>>()[..]);
+        assert_eq!(q.discarded_total(), 150);
+    }
+
+    #[test]
+    fn len_accounts_for_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_timer(Time::from_secs(1), ());
+        q.schedule(Time::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
     }
 }

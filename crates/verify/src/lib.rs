@@ -16,7 +16,10 @@
 //!   construction, cache the result);
 //! * **R5** — no `unwrap`/`expect`/`panic!` in enqueue/dequeue/rotate hot
 //!   paths;
-//! * **R6** — no `==`/`!=` against float literals in core/metrics.
+//! * **R6** — no `==`/`!=` against float literals in core/metrics;
+//! * **R7** — no `std::thread` in simulation/dataplane crates: a simulated
+//!   timeline is strictly sequential, and parallelism lives only in
+//!   `crates/par` (the trial executor) and the harness/bench drivers.
 //!
 //! A violation can be suppressed with a `// det-ok: <reason>` comment on
 //! the same line or the line above; the reason is mandatory.

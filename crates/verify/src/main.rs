@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p cebinae-verify             # check the whole workspace
-//! cargo run -p cebinae-verify -- --skip R5,R6
+//! cargo run -p cebinae-verify -- --skip R5,R7
 //! cargo run -p cebinae-verify -- --root path/to/tree
 //! ```
 //!
@@ -19,6 +19,7 @@ fn parse_rule(s: &str) -> Option<Rule> {
         "R4" => Some(Rule::R4),
         "R5" => Some(Rule::R5),
         "R6" => Some(Rule::R6),
+        "R7" => Some(Rule::R7),
         "W0" => Some(Rule::Waiver),
         _ => None,
     }
@@ -47,7 +48,7 @@ fn main() -> ExitCode {
                 None => return usage("--skip needs a rule list, e.g. R5,R6"),
             },
             "--help" | "-h" => {
-                eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R6,W0]");
+                eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R7,W0]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -60,7 +61,7 @@ fn main() -> ExitCode {
     match check_workspace(&cfg) {
         Ok(violations) if violations.is_empty() => {
             if cfg.disabled.is_empty() {
-                println!("cebinae-verify: workspace clean (rules R1-R6)");
+                println!("cebinae-verify: workspace clean (rules R1-R7)");
             } else {
                 let skipped: Vec<String> =
                     cfg.disabled.iter().map(|r| r.to_string()).collect();
@@ -87,6 +88,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("cebinae-verify: {msg}");
-    eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R6,W0]");
+    eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R7,W0]");
     ExitCode::from(2)
 }

@@ -1,4 +1,4 @@
-//! The determinism & dataplane-safety rules (R1-R6).
+//! The determinism & dataplane-safety rules (R1-R7).
 //!
 //! Each rule is a token-stream pattern match over one file, scoped by the
 //! file's workspace-relative path and filtered by test regions and
@@ -27,6 +27,10 @@ pub enum Rule {
     R5,
     /// No `==`/`!=` against float literals in core/metrics.
     R6,
+    /// No `std::thread` in simulation/dataplane crates: parallelism lives
+    /// only in `crates/par` (the trial executor) and the harness binaries
+    /// that drive it. A single simulated timeline is strictly sequential.
+    R7,
     /// `// det-ok:` waivers must carry a reason.
     Waiver,
 }
@@ -40,6 +44,7 @@ impl fmt::Display for Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
             Rule::Waiver => "W0",
         };
         f.write_str(s)
@@ -88,6 +93,13 @@ const R5_CRATES: [&str; 3] = ["core", "net", "fq"];
 
 /// Float-comparison-sensitive crates for R6.
 const R6_CRATES: [&str; 2] = ["core", "metrics"];
+
+/// Crates that must stay thread-free (R7): every simulation/dataplane
+/// crate. Parallelism is legal only in `crates/par`, the harness, the
+/// bench targets, and the verify tool itself.
+const R7_CRATES: [&str; 8] = [
+    "sim", "net", "core", "engine", "transport", "fq", "traffic", "metrics",
+];
 
 fn in_crate_src(path: &str, crates: &[&str]) -> bool {
     crates
@@ -220,6 +232,9 @@ pub fn run_rules(ctx: &FileCtx<'_>, enabled: &dyn Fn(Rule) -> bool, out: &mut Ve
     }
     if enabled(Rule::R6) {
         r6_float_equality(ctx, out);
+    }
+    if enabled(Rule::R7) {
+        r7_threads_in_sim(ctx, out);
     }
 }
 
@@ -449,6 +464,40 @@ fn r5_panics_in_hot_path(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
                     ),
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R7: threads in simulation/dataplane crates
+// ---------------------------------------------------------------------------
+
+fn r7_threads_in_sim(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !in_crate_src(ctx.path, &R7_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if name != "thread" {
+            continue;
+        }
+        // `handle.thread()` etc. — a field/method, not the module.
+        if i > 0 && toks[i - 1].tok == Tok::Punct(".") {
+            continue;
+        }
+        // The module use always appears as a path: `std::thread`,
+        // `use std::thread`, or `thread::spawn`/`scope`/`Builder` after a
+        // `use`. A bare `thread` variable never matches.
+        let is_path = matches_seq(toks, i, &["thread", "::"]).is_some()
+            || (i >= 2 && matches_seq(toks, i - 2, &["std", "::", "thread"]).is_some());
+        if is_path && !ctx.exempt(t.line) {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::R7,
+                "`std::thread` in a simulation/dataplane crate; a simulated timeline is strictly sequential — fan parallelism across trials via `cebinae_par::TrialPool`".into(),
+            );
         }
     }
 }

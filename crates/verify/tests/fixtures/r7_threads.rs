@@ -1,0 +1,44 @@
+// R7 fixture: OS threads inside a simulation/dataplane crate.
+
+use std::thread;
+
+fn bad_spawn() {
+    std::thread::spawn(|| {});
+}
+
+fn bad_scope(data: &mut [u64]) {
+    thread::scope(|s| {
+        s.spawn(|| data.iter().sum::<u64>());
+    });
+}
+
+fn bad_builder() {
+    let _ = thread::Builder::new().name("worker".into());
+}
+
+fn waived_core_count() -> usize {
+    // det-ok: sizing hint only; never touches the simulated timeline
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+struct Handle {
+    thread: u64,
+}
+
+fn fine_field_access(h: &Handle) -> u64 {
+    // `.thread` is a field, not the module.
+    h.thread
+}
+
+fn fine_method_spawn(pool: &Pool) {
+    // A method named `spawn` on a non-thread type is not a violation.
+    pool.spawn(42);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_in_tests_are_tolerated() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

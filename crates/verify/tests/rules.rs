@@ -11,6 +11,7 @@ const R3: &str = include_str!("fixtures/r3_unordered_iteration.rs");
 const R4: &str = include_str!("fixtures/r4_env_read.rs");
 const R5: &str = include_str!("fixtures/r5_hot_path_panics.rs");
 const R6: &str = include_str!("fixtures/r6_float_equality.rs");
+const R7: &str = include_str!("fixtures/r7_threads.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 
 fn rule_hits(path: &str, src: &str, rule: Rule) -> Vec<Violation> {
@@ -100,6 +101,31 @@ fn r6_flags_float_literal_equality() {
 #[test]
 fn r6_ignores_crates_outside_scope() {
     assert!(rule_hits("crates/transport/src/fixture.rs", R6, Rule::R6).is_empty());
+}
+
+#[test]
+fn r7_flags_threads_in_sim_crates() {
+    // use std::thread; + std::thread::spawn + thread::scope +
+    // thread::Builder. The waived available_parallelism call, the
+    // `.thread` field access, the `pool.spawn` method call, and the
+    // test-region spawn never count.
+    for path in ["crates/sim/src/fixture.rs", "crates/engine/src/fixture.rs"] {
+        let hits = rule_hits(path, R7, Rule::R7);
+        assert_eq!(hits.len(), 4, "{path}: {hits:?}");
+        assert!(hits.iter().all(|v| v.message.contains("TrialPool")), "{hits:?}");
+    }
+}
+
+#[test]
+fn r7_allows_par_harness_and_tooling() {
+    for path in [
+        "crates/par/src/fixture.rs",
+        "crates/harness/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+        "crates/verify/src/fixture.rs",
+    ] {
+        assert!(rule_hits(path, R7, Rule::R7).is_empty(), "{path}");
+    }
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Bit-level determinism: two runs of the same seeded scenario must agree
 //! not just on aggregate counters but on the *entire packet trace* at the
 //! bottleneck — every enqueue, dequeue, and drop, at the same simulated
-//! time, in the same order. This is the contract the R1-R6 rules in
+//! time, in the same order. This is the contract the R1-R7 rules in
 //! `cebinae-verify` (and DESIGN.md's "Determinism invariants") exist to
 //! protect.
 
@@ -46,7 +46,7 @@ fn identical_seeds_give_identical_packet_traces() {
             "{discipline:?}: trace lengths diverged"
         );
         // Record-by-record equality, with a usable diff on failure.
-        for (i, (ra, rb)) in a.trace.records().iter().zip(b.trace.records()).enumerate() {
+        for (i, (ra, rb)) in a.trace.records().zip(b.trace.records()).enumerate() {
             assert_eq!(
                 ra, rb,
                 "{discipline:?}: traces first diverge at record {i}:\n  a: {ra}\n  b: {rb}"
