@@ -66,6 +66,23 @@ fn bench_event_queue(out: &mut Results) {
         }
         black_box(acc);
     });
+    // Same loop with the disabled-telemetry guard per pop — the delta is
+    // what instrumentation costs when telemetry is off (gated < 3% by
+    // `cebinae-bench --check`).
+    bench(out, "event_queue_push_pop_10k_guarded", 3, 15, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(Time(i * 37 % 10_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            if cebinae_telemetry::enabled() {
+                acc = acc.wrapping_add(black_box(e));
+            }
+            acc ^= e;
+        }
+        black_box(acc);
+    });
     // The lazy-delete timer path: schedule 10k timers, cancel 80% of them
     // (tombstones + periodic compaction), drain the survivors.
     bench(out, "event_queue_cancel_80pct_10k", 3, 15, || {

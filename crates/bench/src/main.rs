@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use cebinae_engine::{Discipline, DumbbellFlow};
 use cebinae_harness::fig13;
-use cebinae_harness::runner::{run_dumbbell_trials, Ctx};
+use cebinae_harness::runner::{Ctx, DumbbellRun};
 use cebinae_par::TrialPool;
 use cebinae_sim::Duration;
 use cebinae_transport::CcKind;
@@ -154,15 +154,11 @@ fn bench_dumbbell(opts: &Opts, serial: &Ctx, parallel: &Ctx) -> Outcome {
         DumbbellFlow::new(CcKind::NewReno, 80),
     ];
     let run = |pool: TrialPool| {
-        run_dumbbell_trials(
-            pool,
-            &flows,
-            rate_bps,
-            200,
-            Discipline::Cebinae,
-            Duration::from_secs(secs),
-            &seeds,
-        )
+        DumbbellRun::new(rate_bps)
+            .buffer_mtus(200)
+            .discipline(Discipline::Cebinae)
+            .duration(Duration::from_secs(secs))
+            .run_trials(pool, &flows, &seeds)
     };
     let (serial_ms, batch_s) = time_reps(opts.reps, || run(serial.pool()));
     let (parallel_ms, batch_p) = time_reps(opts.reps, || run(parallel.pool()));
@@ -176,7 +172,66 @@ fn bench_dumbbell(opts: &Opts, serial: &Ctx, parallel: &Ctx) -> Outcome {
     }
 }
 
-fn render_json(opts: &Opts, cores: usize, threads: usize, outcomes: &[Outcome]) -> String {
+/// Cost of the *disabled* telemetry guard on the event-loop hot path.
+///
+/// Deliberately not an [`Outcome`]: the guarded loop is expected to be
+/// marginally slower (it does strictly more work), so the generic
+/// "parallel must not be slower" check does not apply — the gate here is
+/// overhead < 3%.
+struct GuardOutcome {
+    baseline_ms: f64,
+    guarded_ms: f64,
+}
+
+impl GuardOutcome {
+    fn overhead(&self) -> f64 {
+        self.guarded_ms / self.baseline_ms - 1.0
+    }
+}
+
+/// Event-queue push/pop loop, plain vs. with the `enabled()` guard each
+/// pop — the exact shape the simulator's run loop uses. Interleaved
+/// min-of-N sampling so frequency scaling and cache state hit both
+/// variants alike.
+fn bench_guard_overhead(opts: &Opts) -> GuardOutcome {
+    use cebinae_sim::{EventQueue, Time};
+    use std::hint::black_box;
+    let n: u64 = if opts.smoke { 20_000 } else { 200_000 };
+    let samples = if opts.smoke { 30 } else { 60 };
+    let pass = |guarded: bool| {
+        let t0 = Instant::now();
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(Time(i.wrapping_mul(0x9e37_79b9) >> 16), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            if guarded && cebinae_telemetry::enabled() {
+                acc = acc.wrapping_add(black_box(e));
+            }
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc);
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let (mut baseline_ms, mut guarded_ms) = (f64::MAX, f64::MAX);
+    for _ in 0..samples {
+        baseline_ms = baseline_ms.min(pass(false));
+        guarded_ms = guarded_ms.min(pass(true));
+    }
+    GuardOutcome {
+        baseline_ms,
+        guarded_ms,
+    }
+}
+
+fn render_json(
+    opts: &Opts,
+    cores: usize,
+    threads: usize,
+    outcomes: &[Outcome],
+    guard: &GuardOutcome,
+) -> String {
     let mut j = String::from("{\n");
     let _ = writeln!(j, "  \"schema\": \"cebinae-bench-experiments-v1\",");
     let _ = writeln!(j, "  \"cores\": {cores},");
@@ -205,7 +260,12 @@ fn render_json(opts: &Opts, cores: usize, threads: usize, outcomes: &[Outcome]) 
         let _ = writeln!(j, "      \"events_per_sec_parallel\": {eps_par:.0}");
         let _ = writeln!(j, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });
     }
-    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"telemetry_guard\": {{");
+    let _ = writeln!(j, "    \"baseline_ms\": {:.4},", guard.baseline_ms);
+    let _ = writeln!(j, "    \"guarded_ms\": {:.4},", guard.guarded_ms);
+    let _ = writeln!(j, "    \"overhead\": {:.4}", guard.overhead());
+    let _ = writeln!(j, "  }}");
     j.push_str("}\n");
     j
 }
@@ -217,19 +277,21 @@ fn main() {
     // identity check always exercises the pool's cross-thread path.
     let threads = cebinae_par::threads_from_env().max(2);
     let serial = Ctx::serial(false, 1);
-    let parallel = Ctx { threads, ..serial };
+    let parallel = serial.clone().with_threads(threads);
     eprintln!(
         "cebinae-bench: cores={cores} threads_parallel={threads} reps={} {}",
         opts.reps,
         if opts.smoke { "(smoke)" } else { "(full)" },
     );
 
+    // Measure the guard before any run could flip the one-way enable.
+    let guard = bench_guard_overhead(&opts);
     let outcomes = vec![
         bench_fig13(&opts, &serial, &parallel),
         bench_dumbbell(&opts, &serial, &parallel),
     ];
 
-    let json = render_json(&opts, cores, threads, &outcomes);
+    let json = render_json(&opts, cores, threads, &outcomes, &guard);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("cebinae-bench: cannot write {}: {e}", opts.out);
         std::process::exit(2);
@@ -252,6 +314,13 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+        if guard.overhead() > 0.03 {
+            eprintln!(
+                "CHECK FAILED: disabled-telemetry guard overhead {:.2}% >= 3%",
+                guard.overhead() * 100.0
+            );
+            failed = true;
         }
         if failed {
             std::process::exit(1);

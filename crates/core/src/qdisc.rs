@@ -382,6 +382,7 @@ impl CebinaeQdisc {
         self.queue_bytes[queue] += pkt.size as u64;
         self.queued_total += pkt.size as u64;
         self.stats.on_enqueue(pkt.size);
+        self.stats.note_queued(self.queued_total);
         self.queues[queue].push_back(pkt);
     }
 }
@@ -499,8 +500,8 @@ impl Qdisc for CebinaeQdisc {
         }
     }
 
-    fn stats(&self) -> QdiscStats {
-        self.stats
+    fn stats(&self) -> &QdiscStats {
+        &self.stats
     }
 
     fn name(&self) -> &'static str {

@@ -11,6 +11,7 @@
 pub mod scenario;
 pub mod world;
 
+pub use cebinae_net::BufferConfig;
 pub use scenario::{
     cca_mix, dumbbell, parking_lot, Discipline, DumbbellFlow, ParkingLotGroup, ScenarioParams,
 };

@@ -59,6 +59,8 @@ pub struct ScenarioParams {
     pub duration: Duration,
     pub sample_interval: Duration,
     pub seed: u64,
+    /// Collect deterministic telemetry into [`SimResult::telemetry`](crate::SimResult).
+    pub telemetry: bool,
 }
 
 impl ScenarioParams {
@@ -73,6 +75,7 @@ impl ScenarioParams {
             duration: Duration::from_secs(10),
             sample_interval: Duration::from_millis(100),
             seed: 1,
+            telemetry: false,
         }
     }
 
@@ -194,6 +197,7 @@ pub fn dumbbell(flows: &[DumbbellFlow], p: &ScenarioParams) -> (SimConfig, LinkI
     cfg.duration = p.duration;
     cfg.sample_interval = p.sample_interval;
     cfg.seed = p.seed;
+    cfg.telemetry = p.telemetry;
     (cfg, bneck_fwd)
 }
 
@@ -259,6 +263,7 @@ pub fn parking_lot(
     cfg.duration = p.duration;
     cfg.sample_interval = p.sample_interval;
     cfg.seed = p.seed;
+    cfg.telemetry = p.telemetry;
     (cfg, bnecks)
 }
 

@@ -18,6 +18,7 @@ use cebinae_net::{
 };
 use cebinae_sim::rng::DetRng;
 use cebinae_sim::{tx_time, Duration, EventQueue, Time, TimerId};
+use cebinae_telemetry::{Registry, Scope};
 use cebinae_transport::{TcpConfig, TcpOutput, TcpReceiver, TcpSender, TimerAction};
 
 /// Which discipline to install on a link.
@@ -67,6 +68,9 @@ pub struct SimConfig {
     pub traced_links: Vec<LinkId>,
     /// Maximum records retained per run.
     pub trace_capacity: usize,
+    /// Collect deterministic telemetry (counters/gauges/histograms/spans,
+    /// sampled on virtual-time boundaries) into `SimResult::telemetry`.
+    pub telemetry: bool,
 }
 
 impl SimConfig {
@@ -82,6 +86,7 @@ impl SimConfig {
             seed: 0,
             traced_links: Vec::new(),
             trace_capacity: 100_000,
+            telemetry: false,
         }
     }
 }
@@ -184,6 +189,11 @@ pub struct SimResult {
     pub flow_debug: Vec<FlowDebug>,
     /// Packet trace of the configured `traced_links` (empty otherwise).
     pub trace: PacketTrace,
+    /// Rendered NDJSON telemetry export (`None` unless
+    /// [`SimConfig::telemetry`] was set). Byte-identical across thread
+    /// counts: the registry is owned by this simulation and sampled only
+    /// on virtual-time boundaries.
+    pub telemetry: Option<String>,
 }
 
 impl SimResult {
@@ -239,6 +249,18 @@ pub struct Simulation {
     saturated_series: Vec<(Time, Vec<bool>)>,
     cebinae_series: Vec<(Time, Vec<CebinaeSample>)>,
     events_processed: u64,
+    /// Telemetry registry, owned per-simulation so parallel trials never
+    /// share mutable state (the thread-count-invariance contract).
+    tel: Option<Registry>,
+    /// Virtual instant of the previously dispatched event; event-loop
+    /// spans attribute the gap `[last_event_ns, now]` to the current
+    /// event's phase.
+    last_event_ns: u64,
+    rto_cancels: u64,
+    pace_cancels: u64,
+    /// Last-seen sorted ⊤-flow sets per monitored-link index, for the
+    /// membership-churn counter.
+    prev_top: BTreeMap<usize, Vec<FlowId>>,
 }
 
 impl Simulation {
@@ -254,7 +276,11 @@ impl Simulation {
             seed,
             traced_links,
             trace_capacity,
+            telemetry,
         } = cfg;
+        if telemetry {
+            cebinae_telemetry::set_enabled(true);
+        }
 
         let links: Vec<LinkRt> = topology
             .links()
@@ -320,6 +346,11 @@ impl Simulation {
             saturated_series: Vec::new(),
             cebinae_series: Vec::new(),
             events_processed: 0,
+            tel: telemetry.then(Registry::default),
+            last_event_ns: 0,
+            rto_cancels: 0,
+            pace_cancels: 0,
+            prev_top: BTreeMap::new(),
         };
 
         // Activate qdiscs and schedule their control events.
@@ -341,10 +372,28 @@ impl Simulation {
             }
             let (now, ev) = self.events.pop().expect("peeked");
             self.events_processed += 1;
-            self.dispatch(now, ev);
+            // Span accounting runs on *virtual* time (wall clock is banned
+            // by the determinism contract): each event's phase is charged
+            // the gap since the previous event. `enabled()` keeps the
+            // disabled path to one relaxed load.
+            if cebinae_telemetry::enabled() && self.tel.is_some() {
+                let phase = phase_name(&ev);
+                let start = self.last_event_ns;
+                if let Some(tel) = self.tel.as_mut() {
+                    tel.span_enter(phase, start);
+                }
+                self.dispatch(now, ev);
+                if let Some(tel) = self.tel.as_mut() {
+                    tel.span_exit(now.0);
+                }
+                self.last_event_ns = now.0;
+            } else {
+                self.dispatch(now, ev);
+            }
         }
         // Final sample at the end time for complete series.
         self.take_sample(end);
+        let telemetry = self.tel.take().map(Registry::into_ndjson);
         SimResult {
             flow_debug: self
                 .flows
@@ -363,7 +412,7 @@ impl Simulation {
             delivered: self.flows.iter().map(|f| f.receiver.delivered()).collect(),
             flow_starts: self.flows.iter().map(|f| f.start).collect(),
             completed_at: self.flows.iter().map(|f| f.completed_at).collect(),
-            link_stats: self.links.iter().map(|l| l.qdisc.stats()).collect(),
+            link_stats: self.links.iter().map(|l| *l.qdisc.stats()).collect(),
             goodput: self.goodput,
             link_tx_series: self.link_tx_series,
             saturated_series: self.saturated_series,
@@ -372,6 +421,7 @@ impl Simulation {
             duration: self.cfg_duration,
             events_processed: self.events_processed,
             trace: self.trace,
+            telemetry,
         }
     }
 
@@ -446,6 +496,74 @@ impl Simulation {
                 .push((now, samples.iter().map(|s| s.saturated).collect()));
             self.cebinae_series.push((now, samples));
         }
+        if self.tel.is_some() {
+            self.scrape_telemetry(now);
+        }
+    }
+
+    /// Scrape every instrumented subsystem into the registry and emit one
+    /// NDJSON sample block. Runs only on virtual-time sample boundaries
+    /// (plus the end-of-run sample), which is what makes the export
+    /// independent of host scheduling and thread count.
+    fn scrape_telemetry(&mut self, now: Time) {
+        // Take the registry so scraping can borrow links/flows freely.
+        let Some(mut tel) = self.tel.take() else {
+            return;
+        };
+        for l in &self.monitored {
+            let idx = l.index();
+            let scope = Scope::Port(idx as u32);
+            let link = &self.links[idx];
+            let s = link.qdisc.stats();
+            tel.set_counter(scope, "enq_pkts", s.enq_pkts);
+            tel.set_counter(scope, "enq_bytes", s.enq_bytes);
+            tel.set_counter(scope, "drop_pkts", s.drop_pkts);
+            tel.set_counter(scope, "drop_bytes", s.drop_bytes);
+            tel.set_counter(scope, "tx_pkts", s.tx_pkts);
+            tel.set_counter(scope, "tx_bytes", s.tx_bytes);
+            tel.set_counter(scope, "ecn_marked", s.ecn_marked);
+            tel.set(scope, "peak_queued_bytes", s.peak_queued_bytes);
+            let queued = link.qdisc.byte_len();
+            tel.set(scope, "queued_bytes", queued);
+            tel.set(scope, "queued_pkts", link.qdisc.pkt_len() as u64);
+            tel.observe(scope, "occupancy_bytes", queued);
+            if let Some(c) = as_cebinae(link.qdisc.as_ref()) {
+                let x = c.xstats();
+                tel.set_counter(scope, "ceb_rotations", x.rotations);
+                tel.set_counter(scope, "ceb_recomputes", x.recomputes);
+                tel.set_counter(scope, "ceb_lbf_drops", x.lbf_drops);
+                tel.set_counter(scope, "ceb_delayed_pkts", x.delayed_pkts);
+                tel.set_counter(scope, "ceb_saturated_rounds", x.saturated_rounds);
+                tel.set(scope, "ceb_saturated", c.is_saturated() as u64);
+                tel.set(scope, "ceb_top_flows", c.top_flow_count() as u64);
+                // ⊤-group membership churn: symmetric difference against
+                // the set seen at the previous sample.
+                let mut top: Vec<FlowId> = c.top_flows().collect();
+                top.sort_unstable();
+                let prev = self.prev_top.entry(idx).or_default();
+                let changed = top.iter().filter(|f| !prev.contains(f)).count()
+                    + prev.iter().filter(|f| !top.contains(f)).count();
+                tel.add(scope, "ceb_top_churn", changed as u64);
+                *prev = top;
+            }
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            let scope = Scope::Flow(i as u32);
+            let snap = f.sender.telemetry_snapshot();
+            tel.set(scope, "cwnd", snap.cwnd);
+            tel.set(scope, "flight", snap.flight);
+            tel.set(scope, "srtt_ns", snap.srtt_ns);
+            tel.set(scope, "in_recovery", snap.in_recovery as u64);
+            tel.set_counter(scope, "retx", snap.retx);
+            tel.set_counter(scope, "rto", snap.rto);
+            tel.set_counter(scope, "delivered_bytes", f.receiver.delivered());
+        }
+        let eng = Scope::Sys("engine");
+        tel.set_counter(eng, "events", self.events_processed);
+        tel.set_counter(eng, "rto_timer_cancels", self.rto_cancels);
+        tel.set_counter(eng, "pace_timer_cancels", self.pace_cancels);
+        tel.sample(now.0);
+        self.tel = Some(tel);
     }
 
     /// Enqueue a packet on a link and start transmission if idle.
@@ -571,6 +689,7 @@ impl Simulation {
                     None => true,
                     Some((s, id)) if t < s => {
                         self.events.cancel(id);
+                        self.rto_cancels += 1;
                         true
                     }
                     Some(_) => false,
@@ -585,6 +704,7 @@ impl Simulation {
                 f.rto_deadline = None;
                 if let Some((_, id)) = f.rto_timer.take() {
                     self.events.cancel(id);
+                    self.rto_cancels += 1;
                 }
             }
             None => {}
@@ -595,6 +715,7 @@ impl Simulation {
                 None => true,
                 Some((s, id)) if at < s => {
                     self.events.cancel(id);
+                    self.pace_cancels += 1;
                     true
                 }
                 Some(_) => false,
@@ -628,4 +749,17 @@ impl Simulation {
 /// Downcast to the Cebinae qdisc for state sampling.
 fn as_cebinae(q: &dyn Qdisc) -> Option<&CebinaeQdisc> {
     q.as_any().downcast_ref::<CebinaeQdisc>()
+}
+
+/// Event-loop phase label for span profiling.
+fn phase_name(ev: &Ev) -> &'static str {
+    match ev {
+        Ev::Arrive { .. } => "arrive",
+        Ev::TxDone { .. } => "dequeue",
+        Ev::QdiscControl { .. } => "qdisc_control",
+        Ev::FlowStart { .. } => "flow_start",
+        Ev::Rto { .. } => "transport_rto",
+        Ev::Pace { .. } => "transport_pace",
+        Ev::Sample => "sample",
+    }
 }

@@ -99,6 +99,7 @@ impl Qdisc for AfqQdisc {
         self.queue_bytes[qi] += pkt.size as u64;
         self.total_bytes += pkt.size as u64;
         self.stats.on_enqueue(pkt.size);
+        self.stats.note_queued(self.total_bytes);
         self.queues[qi].push_back(pkt);
         Ok(())
     }
@@ -128,8 +129,8 @@ impl Qdisc for AfqQdisc {
         self.queues.iter().map(|q| q.len()).sum()
     }
 
-    fn stats(&self) -> QdiscStats {
-        self.stats
+    fn stats(&self) -> &QdiscStats {
+        &self.stats
     }
 
     fn name(&self) -> &'static str {

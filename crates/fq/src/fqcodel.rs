@@ -161,6 +161,7 @@ impl Qdisc for FqCoDelQdisc {
         q.bytes += size as u64;
         self.total_bytes += size as u64;
         self.stats.on_enqueue(size);
+        self.stats.note_queued(self.total_bytes);
         if !q.scheduled {
             q.scheduled = true;
             q.new_flow = true;
@@ -237,8 +238,8 @@ impl Qdisc for FqCoDelQdisc {
         self.flows.values().map(|q| q.queue.len()).sum()
     }
 
-    fn stats(&self) -> QdiscStats {
-        self.stats
+    fn stats(&self) -> &QdiscStats {
+        &self.stats
     }
 
     fn name(&self) -> &'static str {

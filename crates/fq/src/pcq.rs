@@ -103,6 +103,7 @@ impl Qdisc for PcqQdisc {
         self.ring_bytes[qi] += pkt.size as u64;
         self.total_bytes += pkt.size as u64;
         self.stats.on_enqueue(pkt.size);
+        self.stats.note_queued(self.total_bytes);
         self.ring[qi].push_back(pkt);
         Ok(())
     }
@@ -135,8 +136,8 @@ impl Qdisc for PcqQdisc {
         self.ring.iter().map(|q| q.len()).sum()
     }
 
-    fn stats(&self) -> QdiscStats {
-        self.stats
+    fn stats(&self) -> &QdiscStats {
+        &self.stats
     }
 
     fn name(&self) -> &'static str {

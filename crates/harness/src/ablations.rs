@@ -32,8 +32,10 @@ pub fn p_sensitivity(ctx: &Ctx) -> String {
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(p_val);
+        p.telemetry = ctx.telemetry_enabled();
         run_with_params(&flows, &p)
     });
+    ctx.export_runs("ablation-p", &results);
     for (p_val, m) in P_VALUES.iter().zip(&results) {
         let sat = m
             .result
@@ -64,8 +66,10 @@ pub fn per_flow_top(ctx: &Ctx) -> String {
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(1);
+        p.telemetry = ctx.telemetry_enabled();
         run_with_params(&flows, &p)
     });
+    ctx.export_runs("ablation-perflow", &results);
     for (d, m) in variants.iter().zip(&results) {
         t.row(vec![
             d.label().into(),
@@ -96,8 +100,10 @@ pub fn disciplines(ctx: &Ctx) -> String {
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(1);
+        p.telemetry = ctx.telemetry_enabled();
         run_with_params(&flows, &p)
     });
+    ctx.export_runs("ablation-disciplines", &results);
     for (d, m) in all.iter().zip(&results) {
         t.row(vec![
             d.label().into(),
@@ -123,6 +129,7 @@ pub fn ecn(ctx: &Ctx) -> String {
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(1);
+        p.telemetry = ctx.telemetry_enabled();
         let mut ccfg = cebinae::CebinaeConfig::for_link(
             100_000_000,
             cebinae_net::BufferConfig::mtus(850),
@@ -147,15 +154,18 @@ pub fn ecn(ctx: &Ctx) -> String {
             .last()
             .map(|(_, s)| s[0])
             .unwrap_or_default();
-        vec![
+        let cells = vec![
             if enable_ecn { "ECN" } else { "loss-only" }.into(),
             format!("{:.3}", cebinae_metrics::jfi(&g)),
             mbps(g.iter().sum()),
             stats.ecn_marked.to_string(),
             ceb.lbf_drops.to_string(),
-        ]
+        ];
+        (cells, r.telemetry)
     });
-    for row in rows {
+    let exports: Vec<Option<&str>> = rows.iter().map(|(_, t)| t.as_deref()).collect();
+    ctx.export_telemetry("ablation-ecn", &exports);
+    for (row, _) in rows {
         t.row(row);
     }
     t.render()

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N] [--threads N]
+//!                                     [--telemetry PATH]
 //! cebinae-experiments all [--full]
 //! cebinae-experiments list
 //! ```
@@ -11,15 +12,18 @@ use cebinae_harness::{run_experiment, Ctx, EXPERIMENTS};
 fn usage() -> ! {
     eprintln!(
         "usage: cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N] [--threads N]\n\
+                                    [--telemetry PATH]\n\
          \n\
          experiments: {}\n\
          special:     all (every experiment), list (print names)\n\
-         flags:       --full     paper-duration runs (100 s, 100 trials)\n\
-                      --rows     table2 row filter (comma-separated ids)\n\
-                      --seed     RNG seed / trial index (default 1)\n\
-                      --threads  trial-pool workers (default CEBINAE_THREADS\n\
-                                 or the machine's cores; output is identical\n\
-                                 for any value)",
+         flags:       --full      paper-duration runs (100 s, 100 trials)\n\
+                      --rows      table2 row filter (comma-separated ids)\n\
+                      --seed      RNG seed / trial index (default 1)\n\
+                      --threads   trial-pool workers (default CEBINAE_THREADS\n\
+                                  or the machine's cores; output is identical\n\
+                                  for any value)\n\
+                      --telemetry append deterministic NDJSON telemetry to\n\
+                                  PATH (also: CEBINAE_TELEMETRY=PATH)",
         EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -57,6 +61,9 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage());
+            }
+            "--telemetry" => {
+                ctx.telemetry = Some(it.next().unwrap_or_else(|| usage()));
             }
             "list" => {
                 for e in EXPERIMENTS {

@@ -56,6 +56,7 @@ pub fn fct(ctx: &Ctx) -> String {
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(1);
+        p.telemetry = ctx.telemetry_enabled();
         let (cfg, _) = dumbbell(&flows, &p);
         let r = Simulation::new(cfg).run();
 
@@ -70,26 +71,30 @@ pub fn fct(ctx: &Ctx) -> String {
         let elephant_bps: f64 = r.goodputs_bps(Time::from_secs(3))[..n_elephants]
             .iter()
             .sum();
-        if fcts_ms.is_empty() {
-            return vec![
+        let cells = if fcts_ms.is_empty() {
+            vec![
                 d.label().into(),
                 "-".into(),
                 "-".into(),
                 "-".into(),
                 "0".into(),
                 mbps(elephant_bps),
-            ];
-        }
-        vec![
-            d.label().into(),
-            format!("{:.1}", percentile(&fcts_ms, 50.0)),
-            format!("{:.1}", percentile(&fcts_ms, 95.0)),
-            format!("{:.1}", percentile(&fcts_ms, 99.0)),
-            format!("{done}/{}", arrivals.len()),
-            mbps(elephant_bps),
-        ]
+            ]
+        } else {
+            vec![
+                d.label().into(),
+                format!("{:.1}", percentile(&fcts_ms, 50.0)),
+                format!("{:.1}", percentile(&fcts_ms, 95.0)),
+                format!("{:.1}", percentile(&fcts_ms, 99.0)),
+                format!("{done}/{}", arrivals.len()),
+                mbps(elephant_bps),
+            ]
+        };
+        (cells, r.telemetry)
     });
-    for row in rows {
+    let exports: Vec<Option<&str>> = rows.iter().map(|(_, e)| e.as_deref()).collect();
+    ctx.export_telemetry("ext-fct", &exports);
+    for (row, _) in rows {
         t.row(row);
     }
     t.render()

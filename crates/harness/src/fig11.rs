@@ -78,16 +78,20 @@ pub fn run(ctx: &Ctx) -> String {
     let ideal = ideal_goodputs(&spec);
 
     let mut per_disc = Vec::new();
+    let mut exports = Vec::new();
     for d in [Discipline::Fifo, Discipline::Cebinae] {
         let mut p = ScenarioParams::new(spec.rate_bps, 850, d);
         p.duration = duration;
         p.seed = ctx.seed;
         p.cebinae_p = Some(1);
+        p.telemetry = ctx.telemetry_enabled();
         let (cfg, _links) = parking_lot(spec.segments, &spec.groups, &p);
         let r = Simulation::new(cfg).run();
         let g = r.goodputs_bps(Time::ZERO + duration / 10);
         per_disc.push(g);
+        exports.push(r.telemetry);
     }
+    ctx.export_telemetry("fig11", &exports);
 
     let mut t = Table::new(&["flow", "cca", "ideal[Mbps]", "FIFO[Mbps]", "Cebinae[Mbps]"]);
     let mut labels = Vec::new();

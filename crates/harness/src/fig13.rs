@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn sweep_output_is_thread_count_invariant() {
         let serial = Ctx::serial(false, 1);
-        let parallel = Ctx { threads: 4, ..serial };
+        let parallel = serial.clone().with_threads(4);
         let a = interval_sweep(&serial, &[20], 64, 3, "fig13-par-test", light_trace_cfg);
         let b = interval_sweep(&parallel, &[20], 64, 3, "fig13-par-test", light_trace_cfg);
         assert_eq!(a, b, "thread count leaked into rendered output");

@@ -6,7 +6,7 @@ use cebinae_metrics::{cdf, jfi};
 use cebinae_sim::Time;
 use cebinae_transport::CcKind;
 
-use crate::runner::{mbps, run_dumbbell, Ctx, Table};
+use crate::runner::{mbps, Ctx, DumbbellRun, Table};
 
 /// Figure 1: two NewReno flows (RTT 20.4 / 40 ms) over 1 Gbps, goodput
 /// time series under FIFO and Cebinae, plus Cebinae's saturation state.
@@ -19,10 +19,16 @@ pub fn fig1(ctx: &Ctx) -> String {
     let rate = 1_000_000_000;
     let buffer = 850;
 
+    let run = DumbbellRun::new(rate)
+        .buffer_mtus(buffer)
+        .duration(duration)
+        .seed(ctx.seed)
+        .telemetry(ctx.telemetry_enabled());
     let mut runs = ctx.pool().map(
         vec![Discipline::Fifo, Discipline::Cebinae],
-        |_, d| run_dumbbell(&flows, rate, buffer, d, duration, ctx.seed),
+        |_, d| run.clone().discipline(d).run(&flows),
     );
+    ctx.export_runs("fig1", &runs);
     let ceb = runs.pop().expect("two runs");
     let fifo = runs.pop().expect("two runs");
 
@@ -69,10 +75,16 @@ pub fn fig7(ctx: &Ctx) -> String {
     let mut flows: Vec<_> = (0..16).map(|_| DumbbellFlow::new(CcKind::Vegas, 50)).collect();
     flows.push(DumbbellFlow::new(CcKind::NewReno, 50));
     let duration = ctx.secs(40, 100);
+    let run = DumbbellRun::new(100_000_000)
+        .buffer_mtus(850)
+        .duration(duration)
+        .seed(ctx.seed)
+        .telemetry(ctx.telemetry_enabled());
     let mut runs = ctx.pool().map(
         vec![Discipline::Fifo, Discipline::Cebinae],
-        |_, d| run_dumbbell(&flows, 100_000_000, 850, d, duration, ctx.seed),
+        |_, d| run.clone().discipline(d).run(&flows),
     );
+    ctx.export_runs("fig7", &runs);
     let ceb = runs.pop().expect("two runs");
     let fifo = runs.pop().expect("two runs");
     let mut t = Table::new(&["flow", "cca", "FIFO[Mbps]", "Cebinae[Mbps]"]);
@@ -109,10 +121,16 @@ pub fn fig8(ctx: &Ctx, variant_b: bool) -> String {
         (f, 4200, "8a: 128 NewReno vs 2 BBR")
     };
     let duration = ctx.secs(15, 100);
+    let run = DumbbellRun::new(1_000_000_000)
+        .buffer_mtus(buffer)
+        .duration(duration)
+        .seed(ctx.seed)
+        .telemetry(ctx.telemetry_enabled());
     let mut runs = ctx.pool().map(
         vec![Discipline::Fifo, Discipline::Cebinae],
-        |_, d| run_dumbbell(&flows, 1_000_000_000, buffer, d, duration, ctx.seed),
+        |_, d| run.clone().discipline(d).run(&flows),
     );
+    ctx.export_runs(if variant_b { "fig8b" } else { "fig8a" }, &runs);
     let ceb = runs.pop().expect("two runs");
     let fifo = runs.pop().expect("two runs");
     let mut out = format!("Figure {name} — goodput CDF [Mbps]\n");
@@ -167,11 +185,17 @@ pub fn fig9(ctx: &Ctx) -> String {
             jobs.push((rtt2, d));
         }
     }
+    let run = DumbbellRun::new(400_000_000)
+        .buffer_mtus(buffer_mtus)
+        .duration(duration)
+        .seed(ctx.seed)
+        .telemetry(ctx.telemetry_enabled());
     let results = ctx.pool().map(jobs, |_, (rtt2, d)| {
         let mut flows: Vec<_> = (0..4).map(|_| DumbbellFlow::new(CcKind::Cubic, 256)).collect();
         flows.extend((0..4).map(|_| DumbbellFlow::new(CcKind::Cubic, rtt2)));
-        run_dumbbell(&flows, 400_000_000, buffer_mtus, d, duration, ctx.seed)
+        run.clone().discipline(d).run(&flows)
     });
+    ctx.export_runs("fig9", &results);
     for (i, &rtt2) in RTT2.iter().enumerate() {
         let cells = &results[i * 3..i * 3 + 3];
         t.row(vec![
@@ -195,9 +219,15 @@ pub fn fig10(ctx: &Ctx) -> String {
     flows.push(DumbbellFlow::new(CcKind::NewReno, 40).starting_at(Time::from_secs(5)));
     flows.push(DumbbellFlow::new(CcKind::Cubic, 40).starting_at(Time::from_secs(25)));
 
+    let run = DumbbellRun::new(100_000_000)
+        .buffer_mtus(850)
+        .duration(duration)
+        .seed(ctx.seed)
+        .telemetry(ctx.telemetry_enabled());
     let runs = ctx.pool().map(Discipline::PAPER.to_vec(), |_, d| {
-        run_dumbbell(&flows, 100_000_000, 850, d, duration, ctx.seed)
+        run.clone().discipline(d).run(&flows)
     });
+    ctx.export_runs("fig10", &runs);
 
     let mut t = Table::new(&["t[s]", "JFI-FIFO", "JFI-FQ", "JFI-Ceb"]);
     // Per-second JFI over flows that have started (the paper measures
@@ -253,18 +283,21 @@ pub fn fig12(ctx: &Ctx) -> String {
         Spec::Reference(Discipline::FqCoDel),
     ];
     specs.extend(PCTS.iter().map(|&pct| Spec::Threshold(pct)));
+    let base = DumbbellRun::new(rate)
+        .buffer_mtus(buffer)
+        .duration(duration)
+        .seed(ctx.seed)
+        .telemetry(ctx.telemetry_enabled());
     let mut results = ctx.pool().map(specs, |_, spec| match spec {
-        Spec::Reference(d) => run_dumbbell(&flows, rate, buffer, d, duration, ctx.seed),
+        Spec::Reference(d) => base.clone().discipline(d).run(&flows),
         Spec::Threshold(pct) => {
             let th = pct / 100.0;
-            let mut p = cebinae_engine::ScenarioParams::new(rate, buffer, Discipline::Cebinae);
-            p.duration = duration;
-            p.seed = ctx.seed;
-            p.cebinae_p = Some(1);
-            p.cebinae_thresholds = (th, th, th);
-            crate::runner::run_with_params(&flows, &p)
+            let mut run = base.clone().discipline(Discipline::Cebinae);
+            run.params_mut().cebinae_thresholds = (th, th, th);
+            run.run(&flows)
         }
     });
+    ctx.export_runs("fig12", &results);
     let sweep = results.split_off(2);
     let fq = results.pop().expect("two references");
     let fifo = results.pop().expect("two references");
@@ -302,14 +335,11 @@ mod tests {
             DumbbellFlow::new(CcKind::NewReno, 20),
             DumbbellFlow::new(CcKind::NewReno, 40),
         ];
-        let m = run_dumbbell(
-            &flows,
-            100_000_000,
-            350,
-            Discipline::Cebinae,
-            cebinae_sim::Duration::from_secs(4),
-            1,
-        );
+        let m = DumbbellRun::new(100_000_000)
+            .buffer_mtus(350)
+            .discipline(Discipline::Cebinae)
+            .duration(cebinae_sim::Duration::from_secs(4))
+            .run(&flows);
         assert_eq!(m.per_flow_bps.len(), 2);
         assert!(m.goodput_bps > 10e6);
     }

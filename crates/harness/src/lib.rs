@@ -24,7 +24,9 @@ pub mod runner;
 pub mod table2;
 pub mod table3;
 
-pub use runner::{run_dumbbell, run_with_params, Ctx, RunMetrics, Table};
+#[allow(deprecated)]
+pub use runner::run_dumbbell;
+pub use runner::{run_with_params, Ctx, DumbbellRun, RunMetrics, Table};
 
 /// All experiment names accepted by the CLI and bench harness.
 pub const EXPERIMENTS: &[&str] = &[

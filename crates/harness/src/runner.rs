@@ -1,13 +1,19 @@
 //! Shared experiment-running machinery: scaled-vs-full durations, dumbbell
 //! runs with the standard metric set, and table formatting.
 
-use cebinae_engine::{dumbbell, Discipline, DumbbellFlow, ScenarioParams, SimResult, Simulation};
+use cebinae_engine::{
+    dumbbell, BufferConfig, Discipline, DumbbellFlow, ScenarioParams, SimResult, Simulation,
+};
 use cebinae_metrics::jfi;
 use cebinae_par::TrialPool;
 use cebinae_sim::{Duration, Time};
 
-/// Global experiment context: scaled (default) or full paper durations.
-#[derive(Clone, Copy, Debug)]
+/// Global experiment context: scaled (default) or full paper durations,
+/// trial-pool width, and the telemetry sink.
+///
+/// All environment reads live in [`Ctx::from_env`]; experiment modules
+/// take a `&Ctx` instead of consulting `std::env` themselves.
+#[derive(Clone, Debug)]
 pub struct Ctx {
     /// Run the paper's full 100 s experiments instead of scaled ones.
     pub full: bool,
@@ -17,14 +23,21 @@ pub struct Ctx {
     /// Experiment output is byte-identical for any value — trials are
     /// collected in job order, never completion order.
     pub threads: usize,
+    /// NDJSON telemetry sink path (`CEBINAE_TELEMETRY` / `--telemetry`);
+    /// `None` disables collection.
+    pub telemetry: Option<String>,
 }
 
 impl Ctx {
+    /// Context from the environment: `CEBINAE_FULL`, `CEBINAE_THREADS`,
+    /// and `CEBINAE_TELEMETRY` (sink path).
     pub fn from_env() -> Ctx {
         Ctx {
             full: std::env::var_os("CEBINAE_FULL").is_some(),
             seed: 1,
             threads: cebinae_par::threads_from_env(),
+            telemetry: std::env::var_os("CEBINAE_TELEMETRY")
+                .map(|v| v.to_string_lossy().into_owned()),
         }
     }
 
@@ -35,7 +48,33 @@ impl Ctx {
             full,
             seed,
             threads: 1,
+            telemetry: None,
         }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Ctx {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Ctx {
+        self.threads = threads;
+        self
+    }
+
+    pub fn with_full(mut self, full: bool) -> Ctx {
+        self.full = full;
+        self
+    }
+
+    /// Route telemetry to `path` (`None` disables).
+    pub fn with_telemetry(mut self, path: Option<String>) -> Ctx {
+        self.telemetry = path;
+        self
+    }
+
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
     }
 
     /// The trial pool experiments fan their independent seeded jobs onto.
@@ -47,6 +86,108 @@ impl Ctx {
     /// full, else `scaled_secs`.
     pub fn secs(&self, scaled_secs: u64, full_secs: u64) -> Duration {
         Duration::from_secs(if self.full { full_secs } else { scaled_secs })
+    }
+
+    /// Append per-trial telemetry exports to the configured sink, in job
+    /// order (determinism: the file content depends only on the runs, not
+    /// on thread scheduling). Each export is preceded by a header line
+    /// naming the experiment and trial index. No-op without a sink.
+    pub fn export_telemetry<S: AsRef<str>>(&self, label: &str, exports: &[Option<S>]) {
+        let Some(path) = &self.telemetry else {
+            return;
+        };
+        use std::io::Write;
+        let mut file = match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("telemetry sink {path}: {e}");
+                return;
+            }
+        };
+        for (trial, export) in exports.iter().enumerate() {
+            if let Some(nd) = export {
+                let _ = writeln!(file, "{{\"run\":{label:?},\"trial\":{trial}}}");
+                let _ = file.write_all(nd.as_ref().as_bytes());
+            }
+        }
+    }
+
+    /// [`Ctx::export_telemetry`] over a batch of run metrics.
+    pub fn export_runs(&self, label: &str, runs: &[RunMetrics]) {
+        let exports: Vec<Option<&str>> =
+            runs.iter().map(|m| m.result.telemetry.as_deref()).collect();
+        self.export_telemetry(label, &exports);
+    }
+}
+
+/// Builder for the standard single-bottleneck dumbbell run — the typed
+/// replacement for the former positional `run_dumbbell(flows, rate,
+/// buffer, discipline, duration, seed)` signature.
+///
+/// Defaults: 420-MTU buffer, FIFO, 10 s, seed 1, Cebinae recompute period
+/// pinned to P = 1 (the harness-wide convention).
+#[derive(Clone, Debug)]
+pub struct DumbbellRun {
+    params: ScenarioParams,
+}
+
+impl DumbbellRun {
+    pub fn new(rate_bps: u64) -> DumbbellRun {
+        let mut params = ScenarioParams::new(rate_bps, 420, Discipline::Fifo);
+        params.cebinae_p = Some(1);
+        DumbbellRun { params }
+    }
+
+    pub fn buffer_mtus(mut self, mtus: u64) -> DumbbellRun {
+        self.params.buffer = BufferConfig::mtus(mtus);
+        self
+    }
+
+    pub fn discipline(mut self, d: Discipline) -> DumbbellRun {
+        self.params.discipline = d;
+        self
+    }
+
+    pub fn duration(mut self, d: Duration) -> DumbbellRun {
+        self.params.duration = d;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> DumbbellRun {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Collect deterministic telemetry into `RunMetrics::result.telemetry`.
+    pub fn telemetry(mut self, on: bool) -> DumbbellRun {
+        self.params.telemetry = on;
+        self
+    }
+
+    /// The underlying scenario parameters, for sweeps the builder doesn't
+    /// cover (thresholds, sample interval, ...).
+    pub fn params(&self) -> &ScenarioParams {
+        &self.params
+    }
+
+    pub fn params_mut(&mut self) -> &mut ScenarioParams {
+        &mut self.params
+    }
+
+    /// Run once and compute the standard metric set.
+    pub fn run(&self, flows: &[DumbbellFlow]) -> RunMetrics {
+        run_with_params(flows, &self.params)
+    }
+
+    /// Run one independent simulation per seed, fanned across `pool`.
+    /// Results come back in seed order regardless of thread count.
+    pub fn run_trials(
+        &self,
+        pool: TrialPool,
+        flows: &[DumbbellFlow],
+        seeds: &[u64],
+    ) -> Vec<RunMetrics> {
+        pool.map(seeds.to_vec(), |_, seed| self.clone().seed(seed).run(flows))
     }
 }
 
@@ -68,6 +209,7 @@ pub struct RunMetrics {
 const WARMUP_FRACTION: u64 = 10;
 
 /// Run a dumbbell scenario and compute the standard metrics.
+#[deprecated(note = "use the DumbbellRun builder")]
 pub fn run_dumbbell(
     flows: &[DumbbellFlow],
     rate_bps: u64,
@@ -76,11 +218,12 @@ pub fn run_dumbbell(
     duration: Duration,
     seed: u64,
 ) -> RunMetrics {
-    let mut p = ScenarioParams::new(rate_bps, buffer_mtus, discipline);
-    p.duration = duration;
-    p.seed = seed;
-    p.cebinae_p = Some(1);
-    run_with_params(flows, &p)
+    DumbbellRun::new(rate_bps)
+        .buffer_mtus(buffer_mtus)
+        .discipline(discipline)
+        .duration(duration)
+        .seed(seed)
+        .run(flows)
 }
 
 /// Run with explicit parameters (threshold sweeps etc.).
@@ -101,6 +244,7 @@ pub fn run_with_params(flows: &[DumbbellFlow], p: &ScenarioParams) -> RunMetrics
 /// Run the same dumbbell scenario under a batch of seeds, one independent
 /// simulation per seed, fanned across `pool`. Results come back in seed
 /// order regardless of thread count.
+#[deprecated(note = "use DumbbellRun::run_trials")]
 pub fn run_dumbbell_trials(
     pool: TrialPool,
     flows: &[DumbbellFlow],
@@ -110,9 +254,11 @@ pub fn run_dumbbell_trials(
     duration: Duration,
     seeds: &[u64],
 ) -> Vec<RunMetrics> {
-    pool.map(seeds.to_vec(), |_, seed| {
-        run_dumbbell(flows, rate_bps, buffer_mtus, discipline, duration, seed)
-    })
+    DumbbellRun::new(rate_bps)
+        .buffer_mtus(buffer_mtus)
+        .discipline(discipline)
+        .duration(duration)
+        .run_trials(pool, flows, seeds)
 }
 
 /// Render a rate in the paper's Table 2 style (Mbps with 4-5 significant
@@ -186,18 +332,37 @@ mod tests {
             DumbbellFlow::new(CcKind::NewReno, 20),
             DumbbellFlow::new(CcKind::NewReno, 20),
         ];
-        let m = run_dumbbell(
-            &flows,
-            10_000_000,
-            100,
-            Discipline::Fifo,
-            Duration::from_secs(4),
-            1,
-        );
+        let m = DumbbellRun::new(10_000_000)
+            .buffer_mtus(100)
+            .duration(Duration::from_secs(4))
+            .run(&flows);
         assert_eq!(m.per_flow_bps.len(), 2);
         assert!((m.goodput_bps - m.per_flow_bps.iter().sum::<f64>()).abs() < 1.0);
         assert!(m.goodput_bps < m.throughput_bps);
         assert!(m.jfi > 0.0 && m.jfi <= 1.0);
+        assert!(m.result.telemetry.is_none(), "telemetry off by default");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_builder() {
+        let flows = vec![DumbbellFlow::new(CcKind::Cubic, 30)];
+        let shim = run_dumbbell(
+            &flows,
+            10_000_000,
+            100,
+            Discipline::Cebinae,
+            Duration::from_secs(2),
+            7,
+        );
+        let built = DumbbellRun::new(10_000_000)
+            .buffer_mtus(100)
+            .discipline(Discipline::Cebinae)
+            .duration(Duration::from_secs(2))
+            .seed(7)
+            .run(&flows);
+        assert_eq!(shim.per_flow_bps, built.per_flow_bps);
+        assert_eq!(shim.result.events_processed, built.result.events_processed);
     }
 
     #[test]
@@ -207,6 +372,20 @@ mod tests {
         assert_eq!(scaled.secs(10, 100), Duration::from_secs(10));
         assert_eq!(full.secs(10, 100), Duration::from_secs(100));
         assert_eq!(scaled.pool().threads(), 1);
+    }
+
+    #[test]
+    fn ctx_builder_chains() {
+        let ctx = Ctx::serial(false, 0)
+            .with_seed(9)
+            .with_threads(3)
+            .with_full(true)
+            .with_telemetry(Some("t.ndjson".into()));
+        assert_eq!(ctx.seed, 9);
+        assert_eq!(ctx.threads, 3);
+        assert!(ctx.full);
+        assert!(ctx.telemetry_enabled());
+        assert!(!Ctx::serial(false, 0).telemetry_enabled());
     }
 
     #[test]
@@ -243,25 +422,13 @@ mod tests {
             DumbbellFlow::new(CcKind::NewReno, 20),
         ];
         let seeds = [1u64, 2, 3];
-        let batch = run_dumbbell_trials(
-            cebinae_par::TrialPool::with_threads(4),
-            &flows,
-            10_000_000,
-            100,
-            Discipline::Fifo,
-            Duration::from_secs(2),
-            &seeds,
-        );
+        let run = DumbbellRun::new(10_000_000)
+            .buffer_mtus(100)
+            .duration(Duration::from_secs(2));
+        let batch = run.run_trials(cebinae_par::TrialPool::with_threads(4), &flows, &seeds);
         assert_eq!(batch.len(), seeds.len());
         for (m, &seed) in batch.iter().zip(&seeds) {
-            let solo = run_dumbbell(
-                &flows,
-                10_000_000,
-                100,
-                Discipline::Fifo,
-                Duration::from_secs(2),
-                seed,
-            );
+            let solo = run.clone().seed(seed).run(&flows);
             assert_eq!(m.per_flow_bps, solo.per_flow_bps, "seed {seed}");
             assert_eq!(
                 m.result.events_processed, solo.result.events_processed,

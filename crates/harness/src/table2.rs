@@ -4,7 +4,7 @@
 use cebinae_engine::{cca_mix, Discipline, DumbbellFlow};
 use cebinae_transport::CcKind;
 
-use crate::runner::{mbps, run_dumbbell, Ctx, Table};
+use crate::runner::{mbps, Ctx, DumbbellRun, Table};
 
 /// One Table 2 row specification.
 #[derive(Clone, Debug)]
@@ -104,23 +104,25 @@ pub struct Cell {
     pub throughput_bps: f64,
     pub goodput_bps: f64,
     pub jfi: f64,
+    /// Telemetry export of the underlying run (when the ctx has a sink).
+    pub telemetry: Option<String>,
 }
 
 /// Run one row under one discipline.
 pub fn run_row(ctx: &Ctx, row: &Row, d: Discipline) -> Cell {
     let duration = ctx.secs(row.scaled_secs(), 100);
-    let m = run_dumbbell(
-        &row.flows(),
-        row.rate_bps,
-        row.buffer_mtus,
-        d,
-        duration,
-        ctx.seed,
-    );
+    let m = DumbbellRun::new(row.rate_bps)
+        .buffer_mtus(row.buffer_mtus)
+        .discipline(d)
+        .duration(duration)
+        .seed(ctx.seed)
+        .telemetry(ctx.telemetry_enabled())
+        .run(&row.flows());
     Cell {
         throughput_bps: m.throughput_bps,
         goodput_bps: m.goodput_bps,
         jfi: m.jfi,
+        telemetry: m.result.telemetry,
     }
 }
 
@@ -143,6 +145,8 @@ pub fn run(ctx: &Ctx, selected: Option<&[usize]>) -> String {
         }
     }
     let results = ctx.pool().map(jobs, |_, (row, d)| run_row(ctx, &row, d));
+    let exports: Vec<Option<&str>> = results.iter().map(|c| c.telemetry.as_deref()).collect();
+    ctx.export_telemetry("table2", &exports);
     let mut it = results.into_iter();
     for row in &selected_rows {
         let cells: Vec<Cell> = (0..Discipline::PAPER.len())
@@ -200,14 +204,11 @@ mod tests {
         // Row 1 at a very short duration: just verify plumbing end-to-end.
         let ctx = Ctx::serial(false, 1);
         let row = &rows()[0];
-        let m = run_dumbbell(
-            &row.flows(),
-            row.rate_bps,
-            row.buffer_mtus,
-            Discipline::Fifo,
-            cebinae_sim::Duration::from_secs(2),
-            ctx.seed,
-        );
+        let m = DumbbellRun::new(row.rate_bps)
+            .buffer_mtus(row.buffer_mtus)
+            .duration(cebinae_sim::Duration::from_secs(2))
+            .seed(ctx.seed)
+            .run(&row.flows());
         assert!(m.throughput_bps > 50e6, "row 1 must load the link");
     }
 }

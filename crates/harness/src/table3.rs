@@ -86,7 +86,7 @@ mod tests {
     #[test]
     fn table3_is_thread_count_invariant() {
         let serial = run(&Ctx::serial(false, 1));
-        let parallel = run(&Ctx { threads: 4, ..Ctx::serial(false, 1) });
+        let parallel = run(&Ctx::serial(false, 1).with_threads(4));
         assert_eq!(serial, parallel);
     }
 }

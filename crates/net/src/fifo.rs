@@ -43,6 +43,7 @@ impl Qdisc for FifoQdisc {
         }
         self.stats.on_enqueue(pkt.size);
         self.queued_bytes += pkt.size as u64;
+        self.stats.note_queued(self.queued_bytes);
         self.queue.push_back(pkt);
         Ok(())
     }
@@ -62,8 +63,8 @@ impl Qdisc for FifoQdisc {
         self.queue.len()
     }
 
-    fn stats(&self) -> QdiscStats {
-        self.stats
+    fn stats(&self) -> &QdiscStats {
+        &self.stats
     }
 
     fn name(&self) -> &'static str {

@@ -42,6 +42,10 @@ pub struct QdiscStats {
     pub tx_pkts: u64,
     pub tx_bytes: u64,
     pub ecn_marked: u64,
+    /// High-water mark of buffer occupancy (bytes queued after an
+    /// enqueue) — the telemetry layer's view of how close the discipline
+    /// ran to its buffer limit.
+    pub peak_queued_bytes: u64,
 }
 
 impl QdiscStats {
@@ -49,6 +53,12 @@ impl QdiscStats {
     pub fn on_enqueue(&mut self, bytes: u32) {
         self.enq_pkts += 1;
         self.enq_bytes += bytes as u64;
+    }
+
+    /// Record the post-enqueue occupancy; keeps the high-water mark.
+    #[inline]
+    pub fn note_queued(&mut self, queued_bytes: u64) {
+        self.peak_queued_bytes = self.peak_queued_bytes.max(queued_bytes);
     }
 
     #[inline]
@@ -98,8 +108,10 @@ pub trait Qdisc: Send + std::any::Any {
         None
     }
 
-    /// Cumulative statistics.
-    fn stats(&self) -> QdiscStats;
+    /// Cumulative statistics, by reference: the uniform read path for
+    /// telemetry scrapes and tests (no `as_any` downcasting), required of
+    /// every discipline.
+    fn stats(&self) -> &QdiscStats;
 
     /// Short discipline name for reports ("fifo", "fq-codel", "cebinae"...).
     fn name(&self) -> &'static str;
@@ -139,12 +151,16 @@ mod tests {
     fn stats_accumulate() {
         let mut s = QdiscStats::default();
         s.on_enqueue(1500);
+        s.note_queued(1500);
         s.on_enqueue(52);
+        s.note_queued(1552);
         s.on_drop(1500);
         s.on_tx(52);
+        s.note_queued(1500);
         assert_eq!(s.enq_pkts, 2);
         assert_eq!(s.enq_bytes, 1552);
         assert_eq!(s.drop_pkts, 1);
         assert_eq!(s.tx_bytes, 52);
+        assert_eq!(s.peak_queued_bytes, 1552, "high-water mark, not last value");
     }
 }

@@ -26,7 +26,7 @@ pub mod sender;
 pub use cc::{AckEvent, CcKind, CongestionControl, RateSample};
 pub use receiver::TcpReceiver;
 pub use rtt::RttEstimator;
-pub use sender::{TcpConfig, TcpOutput, TcpSender, TimerAction};
+pub use sender::{SenderSnapshot, TcpConfig, TcpOutput, TcpSender, TimerAction};
 
 // Property tests driven by the workspace's seeded generator (32 random
 // cases per property, reproducible from the case index alone).

@@ -786,6 +786,35 @@ impl TcpSender {
             None => false,
         }
     }
+
+    /// One-call congestion-state scrape for the telemetry layer: the
+    /// engine samples this on virtual-time boundaries instead of polling
+    /// the individual accessors.
+    pub fn telemetry_snapshot(&self) -> SenderSnapshot {
+        SenderSnapshot {
+            cwnd: self.cc.cwnd(),
+            flight: self.flight_bytes,
+            in_recovery: self.in_recovery,
+            retx: self.retx_count,
+            rto: self.rto_count,
+            srtt_ns: self.rtt.srtt().map(|d| d.as_nanos()).unwrap_or(0),
+        }
+    }
+}
+
+/// Telemetry snapshot of a sender's congestion state (see
+/// [`TcpSender::telemetry_snapshot`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SenderSnapshot {
+    pub cwnd: u64,
+    pub flight: u64,
+    pub in_recovery: bool,
+    /// Cumulative fast retransmits.
+    pub retx: u64,
+    /// Cumulative RTO firings.
+    pub rto: u64,
+    /// Smoothed RTT in simulated nanoseconds; 0 before the first sample.
+    pub srtt_ns: u64,
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@
 //! * **R6** — no `==`/`!=` against float literals in core/metrics;
 //! * **R7** — no `std::thread` in simulation/dataplane crates: a simulated
 //!   timeline is strictly sequential, and parallelism lives only in
-//!   `crates/par` (the trial executor) and the harness/bench drivers.
+//!   `crates/par` (the trial executor) and the harness/bench drivers;
+//! * **R8** — no raw `println!`/`eprintln!` (or `print!`/`eprint!`/`dbg!`)
+//!   in the instrumented sim/net/engine/transport/telemetry crates:
+//!   observability flows through `cebinae-telemetry`, so experiment output
+//!   stays deterministic and machine-readable.
 //!
 //! A violation can be suppressed with a `// det-ok: <reason>` comment on
 //! the same line or the line above; the reason is mandatory.

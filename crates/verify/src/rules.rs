@@ -1,4 +1,4 @@
-//! The determinism & dataplane-safety rules (R1-R7).
+//! The determinism & dataplane-safety rules (R1-R8).
 //!
 //! Each rule is a token-stream pattern match over one file, scoped by the
 //! file's workspace-relative path and filtered by test regions and
@@ -31,6 +31,10 @@ pub enum Rule {
     /// only in `crates/par` (the trial executor) and the harness binaries
     /// that drive it. A single simulated timeline is strictly sequential.
     R7,
+    /// No raw `println!`/`eprintln!` (or `print!`/`eprint!`/`dbg!`) in the
+    /// instrumented crates: observability goes through `cebinae-telemetry`
+    /// so experiment output stays deterministic and machine-readable.
+    R8,
     /// `// det-ok:` waivers must carry a reason.
     Waiver,
 }
@@ -45,6 +49,7 @@ impl fmt::Display for Rule {
             Rule::R5 => "R5",
             Rule::R6 => "R6",
             Rule::R7 => "R7",
+            Rule::R8 => "R8",
             Rule::Waiver => "W0",
         };
         f.write_str(s)
@@ -100,6 +105,11 @@ const R6_CRATES: [&str; 2] = ["core", "metrics"];
 const R7_CRATES: [&str; 8] = [
     "sim", "net", "core", "engine", "transport", "fq", "traffic", "metrics",
 ];
+
+/// Instrumented crates for R8: anything the telemetry layer covers must
+/// not print directly. `core` keeps its gated `CEBINAE_DEBUG` dump and the
+/// harness/bench report to stdout by design, so neither is listed.
+const R8_CRATES: [&str; 5] = ["sim", "net", "engine", "transport", "telemetry"];
 
 fn in_crate_src(path: &str, crates: &[&str]) -> bool {
     crates
@@ -235,6 +245,9 @@ pub fn run_rules(ctx: &FileCtx<'_>, enabled: &dyn Fn(Rule) -> bool, out: &mut Ve
     }
     if enabled(Rule::R7) {
         r7_threads_in_sim(ctx, out);
+    }
+    if enabled(Rule::R8) {
+        r8_prints_in_instrumented(ctx, out);
     }
 }
 
@@ -497,6 +510,39 @@ fn r7_threads_in_sim(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
                 t.line,
                 Rule::R7,
                 "`std::thread` in a simulation/dataplane crate; a simulated timeline is strictly sequential — fan parallelism across trials via `cebinae_par::TrialPool`".into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R8: raw prints in instrumented crates
+// ---------------------------------------------------------------------------
+
+fn r8_prints_in_instrumented(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !in_crate_src(ctx.path, &R8_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if !matches!(
+            name.as_str(),
+            "println" | "eprintln" | "print" | "eprint" | "dbg"
+        ) {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct("!")) {
+            continue;
+        }
+        if !ctx.exempt(t.line) {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::R8,
+                format!(
+                    "raw `{name}!` in an instrumented crate; record it through `cebinae-telemetry` (or move reporting to the harness)"
+                ),
             );
         }
     }

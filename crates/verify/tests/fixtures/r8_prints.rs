@@ -1,0 +1,47 @@
+// R8 fixture: raw prints inside an instrumented simulation crate.
+
+fn bad_println(x: u64) {
+    println!("x = {x}");
+}
+
+fn bad_eprintln(x: u64) {
+    eprintln!("x = {x}");
+}
+
+fn bad_print_pair(x: u64) {
+    print!("{x}");
+    eprint!("{x}");
+}
+
+fn bad_dbg(x: u64) -> u64 {
+    dbg!(x)
+}
+
+fn waived_startup_banner() {
+    // det-ok: one-shot startup banner, never inside the event loop
+    eprintln!("booting");
+}
+
+fn fine_writeln(buf: &mut String, x: u64) {
+    use std::fmt::Write as _;
+    // Formatting into a buffer is how telemetry renders; not a print.
+    let _ = writeln!(buf, "{x}");
+}
+
+fn fine_method_call(logger: &Logger) {
+    // A method named `println` on some type is not the macro.
+    logger.println();
+}
+
+fn fine_mention() {
+    // Comments and strings mentioning println! never count.
+    let _ = "use println! sparingly";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_tolerated() {
+        println!("debugging a test is fine");
+    }
+}

@@ -12,6 +12,7 @@ const R4: &str = include_str!("fixtures/r4_env_read.rs");
 const R5: &str = include_str!("fixtures/r5_hot_path_panics.rs");
 const R6: &str = include_str!("fixtures/r6_float_equality.rs");
 const R7: &str = include_str!("fixtures/r7_threads.rs");
+const R8: &str = include_str!("fixtures/r8_prints.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 
 fn rule_hits(path: &str, src: &str, rule: Rule) -> Vec<Violation> {
@@ -125,6 +126,40 @@ fn r7_allows_par_harness_and_tooling() {
         "crates/verify/src/fixture.rs",
     ] {
         assert!(rule_hits(path, R7, Rule::R7).is_empty(), "{path}");
+    }
+}
+
+#[test]
+fn r8_flags_raw_prints_in_instrumented_crates() {
+    // println! + eprintln! + print! + eprint! + dbg!; the waived banner,
+    // the writeln!-into-buffer, the `.println()` method call, the
+    // string mention, and the test-region print never count.
+    for path in [
+        "crates/net/src/fixture.rs",
+        "crates/engine/src/fixture.rs",
+        "crates/telemetry/src/fixture.rs",
+    ] {
+        let hits = rule_hits(path, R8, Rule::R8);
+        assert_eq!(hits.len(), 5, "{path}: {hits:?}");
+        assert!(
+            hits.iter().all(|v| v.message.contains("cebinae-telemetry")),
+            "{hits:?}"
+        );
+    }
+}
+
+#[test]
+fn r8_allows_harness_core_and_tooling() {
+    // `core` keeps its CEBINAE_DEBUG dump; harness/bench print reports by
+    // design; verify itself prints diagnostics.
+    for path in [
+        "crates/core/src/fixture.rs",
+        "crates/harness/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+        "crates/verify/src/fixture.rs",
+        "crates/engine/examples/fixture.rs",
+    ] {
+        assert!(rule_hits(path, R8, Rule::R8).is_empty(), "{path}");
     }
 }
 

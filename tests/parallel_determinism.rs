@@ -7,7 +7,7 @@
 
 use cebinae_engine::{Discipline, DumbbellFlow};
 use cebinae_harness::fig13;
-use cebinae_harness::runner::{run_dumbbell_trials, Ctx};
+use cebinae_harness::runner::{Ctx, DumbbellRun};
 use cebinae_par::TrialPool;
 use cebinae_sim::Duration;
 use cebinae_transport::CcKind;
@@ -15,7 +15,7 @@ use cebinae_transport::CcKind;
 #[test]
 fn fig13_sweep_is_identical_across_thread_counts() {
     let serial = Ctx::serial(false, 1);
-    let parallel = Ctx { threads: 8, ..serial };
+    let parallel = serial.clone().with_threads(8);
     let sweep = |ctx: &Ctx| {
         fig13::interval_sweep(ctx, &[20], 64, 3, "par-det-fig13", fig13::light_trace_cfg)
     };
@@ -48,15 +48,11 @@ fn dumbbell_trial_batch_is_identical_across_thread_counts() {
     ];
     let seeds = [1u64, 2, 3, 4];
     let run = |pool: TrialPool| {
-        run_dumbbell_trials(
-            pool,
-            &flows,
-            20_000_000,
-            100,
-            Discipline::Cebinae,
-            Duration::from_secs(2),
-            &seeds,
-        )
+        DumbbellRun::new(20_000_000)
+            .buffer_mtus(100)
+            .discipline(Discipline::Cebinae)
+            .duration(Duration::from_secs(2))
+            .run_trials(pool, &flows, &seeds)
     };
     let a = fingerprints(&run(TrialPool::with_threads(1)));
     let b = fingerprints(&run(TrialPool::with_threads(8)));
