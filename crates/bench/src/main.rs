@@ -16,10 +16,12 @@
 //! * `--reps N`  — timed repetitions per mode, median reported (default 3);
 //! * `--out P`   — output path (default `BENCH_experiments.json`).
 //!
-//! Two experiments are measured, matching the tier-1 determinism tests:
-//! the Figure 13 interval sweep (many independent trace trials) and a
-//! seeded dumbbell trial batch (many independent simulations), the two
-//! fan-out shapes the harness uses everywhere.
+//! Three experiments are measured, matching the tier-1 determinism tests:
+//! the Figure 13 interval sweep (many independent trace trials), a seeded
+//! dumbbell trial batch (many independent simulations) — the two fan-out
+//! shapes the harness uses everywhere — and the `cebinae-check` fuzzer
+//! smoke campaign, whose rendered report doubles as the byte-identity
+//! probe for the oracle pipeline.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -172,6 +174,27 @@ fn bench_dumbbell(opts: &Opts, serial: &Ctx, parallel: &Ctx) -> Outcome {
     }
 }
 
+/// Fuzzer smoke campaign: every seed runs the engine plus the full oracle
+/// stack (conservation, trace replay, differential, fairness), so this
+/// tracks the end-to-end cost of a checked trial and pins the campaign
+/// report's thread-count invariance from the bench angle too.
+fn bench_check_campaign(opts: &Opts, parallel_threads: usize) -> Outcome {
+    let seeds: u64 = if opts.smoke { 8 } else { 32 };
+    let run = |pool: &TrialPool| cebinae_check::run_campaign(0, seeds, pool);
+    let serial_pool = TrialPool::with_threads(1);
+    let parallel_pool = TrialPool::with_threads(parallel_threads);
+    let (serial_ms, report_s) = time_reps(opts.reps, || run(&serial_pool));
+    let (parallel_ms, report_p) = time_reps(opts.reps, || run(&parallel_pool));
+    Outcome {
+        name: "check-smoke-campaign",
+        serial_ms,
+        parallel_ms,
+        identical: report_s.render() == report_p.render()
+            && report_s.fingerprint() == report_p.fingerprint(),
+        events_per_run: 0,
+    }
+}
+
 /// Cost of the *disabled* telemetry guard on the event-loop hot path.
 ///
 /// Deliberately not an [`Outcome`]: the guarded loop is expected to be
@@ -289,6 +312,7 @@ fn main() {
     let outcomes = vec![
         bench_fig13(&opts, &serial, &parallel),
         bench_dumbbell(&opts, &serial, &parallel),
+        bench_check_campaign(&opts, threads),
     ];
 
     let json = render_json(&opts, cores, threads, &outcomes, &guard);

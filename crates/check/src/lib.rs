@@ -1,0 +1,174 @@
+//! `cebinae-check`: seeded scenario fuzzer with model-based differential
+//! oracles and online invariant checking.
+//!
+//! The pipeline, per seed:
+//!
+//! 1. [`scenario::GenScenario::generate`] samples a topology, link
+//!    parameters, CCA mix, arrival schedule and Cebinae configuration from
+//!    the seed alone.
+//! 2. The scenario runs through the real engine (trace + telemetry on).
+//! 3. [`oracle`] judges the run: conservation invariants over the
+//!    telemetry export, exact trace replay against a model filter,
+//!    a quantized-vs-continuous differential check of the LBF, and a
+//!    JFI fairness comparison on symmetric scenarios.
+//! 4. Failing seeds are minimized by [`shrink`] into a replayable
+//!    one-liner; campaigns render as deterministic [`report`]s.
+//!
+//! Campaigns fan out over the `cebinae-par` trial pool; the report is
+//! assembled in seed order, so its bytes are independent of thread count.
+
+pub mod model;
+pub mod oracle;
+pub mod report;
+pub mod scenario;
+pub mod shrink;
+
+use cebinae_engine::{Discipline, Simulation};
+use cebinae_par::TrialPool;
+use cebinae_sim::Duration;
+
+use oracle::{FairnessSample, Violation};
+use report::{CampaignReport, SeedOutcome};
+use scenario::GenScenario;
+use shrink::Overrides;
+
+/// Run one scenario through the engine and every applicable oracle.
+/// Returns the per-seed violations plus the fairness measurement for
+/// symmetric scenarios (judged at campaign level, see
+/// [`oracle::check_fairness_mean`]).
+pub fn check_scenario(sc: &GenScenario) -> (Vec<Violation>, Option<FairnessSample>) {
+    let (cfg, _bnecks) = sc.build();
+    let end_ns = Duration::from_millis(sc.duration_ms).as_nanos();
+    let res = Simulation::new(cfg).run();
+
+    let mut violations = Vec::new();
+    if let Some(ndjson) = &res.telemetry {
+        violations.extend(oracle::check_conservation(ndjson, end_ns));
+    }
+    violations.extend(oracle::check_trace_replay(sc, &res));
+    violations.extend(oracle::check_differential(sc));
+
+    let mut fairness = None;
+    if sc.symmetric {
+        // Fairness runs the same scenario under both disciplines
+        // (paper-default Cebinae parameters), regardless of which
+        // discipline the seed sampled for the invariant run. Only the
+        // collapse floor is a per-seed failure; the JFI comparison
+        // against FIFO is averaged over the campaign.
+        let (cfg_ceb, _) = sc.build_fairness(Discipline::Cebinae);
+        let ceb = Simulation::new(cfg_ceb).run();
+        let (cfg_fifo, _) = sc.build_fairness(Discipline::Fifo);
+        let fifo = Simulation::new(cfg_fifo).run();
+        let sample = oracle::fairness_sample(sc, &ceb, &fifo);
+        violations.extend(oracle::check_fairness_collapse(&sample));
+        fairness = Some(sample);
+    }
+    (violations, fairness)
+}
+
+/// Check one seed with overrides (the replay path), shrinking on failure.
+pub fn check_seed(seed: u64, overrides: Overrides) -> SeedOutcome {
+    let sc = overrides.realize(seed);
+    let (violations, fairness) = check_scenario(&sc);
+    let shrunk = if violations.is_empty() {
+        None
+    } else {
+        // Minimize while the scenario keeps failing *any* oracle. The
+        // shrinker itself is deterministic, so the shrunk overrides are
+        // part of the reproducible outcome.
+        Some(shrink::shrink(seed, |cand| !check_scenario(cand).0.is_empty()))
+    };
+    SeedOutcome {
+        seed,
+        desc: sc.describe(),
+        violations,
+        shrunk,
+        fairness,
+    }
+}
+
+/// Run a campaign of `count` consecutive seeds starting at `base_seed` on
+/// `pool`. Outcomes come back in seed order whatever the thread count.
+pub fn run_campaign(base_seed: u64, count: u64, pool: &TrialPool) -> CampaignReport {
+    let seeds: Vec<u64> = (0..count).map(|i| base_seed.wrapping_add(i)).collect();
+    let outcomes = pool.map(seeds, |_, seed| check_seed(seed, Overrides::default()));
+    CampaignReport::new(base_seed, outcomes)
+}
+
+/// One corpus entry: a seed plus replay overrides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    pub seed: u64,
+    pub overrides: Overrides,
+}
+
+/// Parse a regression corpus: one `seed [flows=N] [dur_ms=M]` per line,
+/// `#` comments and blank lines ignored. Returns `Err` on malformed lines
+/// (a corrupted corpus must fail loudly, not silently shrink coverage).
+pub fn parse_corpus(text: &str) -> Result<Vec<CorpusEntry>, String> {
+    let mut entries = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let seed = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("corpus line {}: bad seed in {raw:?}", ln + 1))?;
+        entries.push(CorpusEntry {
+            seed,
+            overrides: Overrides::from_corpus_tokens(tokens),
+        });
+    }
+    Ok(entries)
+}
+
+/// Replay every corpus entry on `pool`; outcomes in corpus order.
+pub fn run_corpus(entries: &[CorpusEntry], pool: &TrialPool) -> CampaignReport {
+    let base_seed = entries.first().map_or(0, |e| e.seed);
+    let jobs: Vec<CorpusEntry> = entries.to_vec();
+    let outcomes = pool.map(jobs, |_, e| check_seed(e.seed, e.overrides));
+    CampaignReport::new(base_seed, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_seeds_comments_and_overrides() {
+        let text = "# regression corpus\n7\n12 flows=2 dur_ms=500 # shrunk\n\n  42 dur_ms=250\n";
+        let entries = parse_corpus(text).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                CorpusEntry {
+                    seed: 7,
+                    overrides: Overrides::default()
+                },
+                CorpusEntry {
+                    seed: 12,
+                    overrides: Overrides {
+                        flows: Some(2),
+                        dur_ms: Some(500)
+                    }
+                },
+                CorpusEntry {
+                    seed: 42,
+                    overrides: Overrides {
+                        flows: None,
+                        dur_ms: Some(250)
+                    }
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_corpus_is_an_error() {
+        assert!(parse_corpus("not-a-seed\n").is_err());
+        assert!(parse_corpus("# fine\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! CLI for the scenario fuzzer.
+//!
+//! ```text
+//! cebinae-check --smoke --seeds 32 [--base-seed S] [--threads N]
+//! cebinae-check --replay SEED [--flows N] [--dur-ms M]
+//! cebinae-check --corpus PATH [--threads N]
+//! ```
+//!
+//! Exit codes: 0 all oracles green, 1 at least one violation, 2 usage
+//! error. Output is deterministic for a given invocation — independent of
+//! thread count, host, and wall clock.
+
+use cebinae_check::shrink::{replay_line, Overrides};
+use cebinae_check::{check_seed, parse_corpus, run_campaign, run_corpus};
+use cebinae_par::TrialPool;
+
+const USAGE: &str = "usage: cebinae-check --smoke --seeds N [--base-seed S] [--threads N]
+       cebinae-check --replay SEED [--flows N] [--dur-ms M]
+       cebinae-check --corpus PATH [--threads N]";
+
+struct Args {
+    smoke: bool,
+    seeds: u64,
+    base_seed: u64,
+    replay: Option<u64>,
+    flows: Option<usize>,
+    dur_ms: Option<u64>,
+    corpus: Option<String>,
+    threads: Option<usize>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut a = Args {
+        smoke: false,
+        seeds: 32,
+        base_seed: 0,
+        replay: None,
+        flows: None,
+        dur_ms: None,
+        corpus: None,
+        threads: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => a.smoke = true,
+            "--seeds" => a.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--base-seed" => {
+                a.base_seed = value("--base-seed")?
+                    .parse()
+                    .map_err(|e| format!("--base-seed: {e}"))?;
+            }
+            "--replay" => {
+                a.replay =
+                    Some(value("--replay")?.parse().map_err(|e| format!("--replay: {e}"))?);
+            }
+            "--flows" => {
+                a.flows = Some(value("--flows")?.parse().map_err(|e| format!("--flows: {e}"))?);
+            }
+            "--dur-ms" => {
+                a.dur_ms =
+                    Some(value("--dur-ms")?.parse().map_err(|e| format!("--dur-ms: {e}"))?);
+            }
+            "--corpus" => a.corpus = Some(value("--corpus")?),
+            "--threads" => {
+                a.threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(a)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cebinae-check: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let pool = match args.threads {
+        Some(n) => TrialPool::with_threads(n),
+        None => TrialPool::from_env(),
+    };
+
+    if let Some(seed) = args.replay {
+        let overrides = Overrides {
+            flows: args.flows,
+            dur_ms: args.dur_ms,
+        };
+        let outcome = check_seed(seed, overrides);
+        println!("replaying {}", outcome.desc);
+        if outcome.passed() {
+            println!("result: PASS");
+            return;
+        }
+        for v in &outcome.violations {
+            println!("  [{}] {}", v.oracle, v.detail);
+        }
+        let shrunk = outcome.shrunk.unwrap_or(overrides);
+        println!("shrunk replay: {}", replay_line(seed, &shrunk));
+        println!("result: FAIL");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = &args.corpus {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cebinae-check: cannot read corpus {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let entries = match parse_corpus(&text) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cebinae-check: {e}");
+                std::process::exit(2);
+            }
+        };
+        let report = run_corpus(&entries, &pool);
+        print!("{}", report.render());
+        std::process::exit(if report.passed() { 0 } else { 1 });
+    }
+
+    if args.smoke {
+        let report = run_campaign(args.base_seed, args.seeds, &pool);
+        print!("{}", report.render());
+        println!("fingerprint: {:016x}", report.fingerprint());
+        std::process::exit(if report.passed() { 0 } else { 1 });
+    }
+
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}

@@ -1,0 +1,445 @@
+//! The seeded scenario generator: everything about a generated scenario —
+//! topology shape, link rates/delays/buffers, CCA mix, flow arrival
+//! schedule, and the Cebinae parameters (dT, vdT, τ, δp, δf, L) — is a
+//! pure function of one `u64` seed, so a failing seed IS the reproducer.
+//!
+//! Each sampled dimension draws from its own forked RNG stream
+//! ([`DetRng::fork`]), so shrinking one dimension (fewer flows, shorter
+//! run) never perturbs the draws of another — the property that makes the
+//! deterministic minimizer in [`crate::shrink`] meaningful.
+
+use std::collections::BTreeMap;
+
+use cebinae::CebinaeConfig;
+use cebinae_engine::{
+    dumbbell, parking_lot, Discipline, DumbbellFlow, ParkingLotGroup, QdiscSpec, ScenarioParams,
+    SimConfig,
+};
+use cebinae_net::{BufferConfig, LinkId, Topology};
+use cebinae_sim::rng::DetRng;
+use cebinae_sim::{tx_time, Duration, Time};
+use cebinae_transport::{CcKind, TcpConfig};
+
+/// Topology families the fuzzer samples from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Single bottleneck, per-flow host pairs.
+    Dumbbell,
+    /// Chain of equal-rate bottlenecks with long and short flows.
+    ParkingLot,
+    /// Chain of two bottlenecks with *different* rates, so flows entering
+    /// mid-path see a different constraint than end-to-end flows.
+    MultiBottleneck,
+}
+
+/// CCAs the fuzzer mixes. A subset of the full zoo: loss-based, delay-based
+/// and hybrid behaviors are all represented without dragging in the CCAs
+/// whose long convergence would need longer (slower) runs.
+const CCAS: [CcKind; 4] = [CcKind::NewReno, CcKind::Cubic, CcKind::Vegas, CcKind::Bic];
+
+/// Disciplines sampled for the invariant-oracle run.
+const DISCIPLINES: [Discipline; 4] = [
+    Discipline::Fifo,
+    Discipline::FqCoDel,
+    Discipline::Cebinae,
+    Discipline::CebinaePerFlowTop,
+];
+
+/// One generated scenario: the sampled dimensions, all derived from the
+/// seed. Public fields so the shrinker can override them (the overrides are
+/// encoded in the replay line).
+#[derive(Clone, Debug)]
+pub struct GenScenario {
+    pub seed: u64,
+    pub kind: TopologyKind,
+    pub discipline: Discipline,
+    /// Primary bottleneck rate, bits/sec.
+    pub bottleneck_bps: u64,
+    pub buffer_mtus: u64,
+    pub n_flows: usize,
+    /// Per-flow CCA (cycled if shrinking reduces `n_flows`).
+    pub ccas: Vec<CcKind>,
+    /// Per-flow RTT in ms.
+    pub rtts_ms: Vec<u64>,
+    /// Per-flow start offset in ms.
+    pub starts_ms: Vec<u64>,
+    pub duration_ms: u64,
+    /// Cebinae thresholds (δp, δf, τ).
+    pub thresholds: (f64, f64, f64),
+    /// vdT = 2^vdt_exp ns.
+    pub vdt_exp: u32,
+    /// dT is the Equation-2 minimum power of two, left-shifted by this.
+    pub dt_extra: u32,
+    /// Recompute period P.
+    pub p: u32,
+    /// All flows identical (CCA, RTT, start=0): the regime where the
+    /// fairness oracle compares JFI across disciplines.
+    pub symmetric: bool,
+}
+
+impl GenScenario {
+    /// Sample a scenario from `seed`. Deterministic: same seed, same
+    /// scenario, byte for byte.
+    pub fn generate(seed: u64) -> GenScenario {
+        let mut root = DetRng::seed_from_u64(seed ^ 0xCEB1_AE00_C0FF_EE00);
+        // One forked stream per dimension; fork order is fixed and draws
+        // within a stream never affect sibling streams.
+        let mut r_kind = root.fork();
+        let mut r_link = root.fork();
+        let mut r_flows = root.fork();
+        let mut r_sched = root.fork();
+        let mut r_ceb = root.fork();
+
+        let kind = match r_kind.gen_range_f64(0.0, 3.0) as u32 {
+            0 => TopologyKind::Dumbbell,
+            1 => TopologyKind::ParkingLot,
+            _ => TopologyKind::MultiBottleneck,
+        };
+        let discipline = DISCIPLINES[(r_kind.gen_range_f64(0.0, DISCIPLINES.len() as f64)) as usize
+            % DISCIPLINES.len()];
+        // Symmetric saturated dumbbells are the fairness-oracle regime;
+        // sample them often enough that every smoke batch contains some.
+        let symmetric = kind == TopologyKind::Dumbbell && r_kind.gen_bool(0.5);
+
+        let bottleneck_bps = *pick(&mut r_link, &[5_000_000u64, 10_000_000, 20_000_000]);
+        let buffer_mtus = *pick(&mut r_link, &[50u64, 100, 200, 420]);
+
+        let n_flows = 2 + (r_flows.gen_range_f64(0.0, 5.0) as usize); // 2..=6
+        let shared_cca = *pick(&mut r_flows, &CCAS);
+        let shared_rtt = *pick(&mut r_flows, &[10u64, 20, 40, 80]);
+        let mut ccas = Vec::with_capacity(n_flows);
+        let mut rtts_ms = Vec::with_capacity(n_flows);
+        for _ in 0..n_flows {
+            if symmetric {
+                ccas.push(shared_cca);
+                rtts_ms.push(shared_rtt);
+            } else {
+                ccas.push(*pick(&mut r_flows, &CCAS));
+                rtts_ms.push(*pick(&mut r_flows, &[10u64, 20, 40, 80]));
+            }
+        }
+
+        let duration_ms = *pick(&mut r_sched, &[1000u64, 1500, 2000]);
+        let starts_ms: Vec<u64> = (0..n_flows)
+            .map(|_| {
+                if symmetric {
+                    0
+                } else {
+                    // Arrivals within the first fifth of the run.
+                    r_sched.gen_range_f64(0.0, duration_ms as f64 / 5.0) as u64
+                }
+            })
+            .collect();
+
+        let thresholds = *pick(
+            &mut r_ceb,
+            &[(0.01, 0.01, 0.01), (0.05, 0.05, 0.05), (0.01, 0.10, 0.05)],
+        );
+        let vdt_exp = *pick(&mut r_ceb, &[17u32, 18]);
+        let dt_extra = *pick(&mut r_ceb, &[0u32, 1]);
+        let p = *pick(&mut r_ceb, &[1u32, 2]);
+
+        GenScenario {
+            seed,
+            kind,
+            discipline,
+            bottleneck_bps,
+            buffer_mtus,
+            n_flows,
+            ccas,
+            rtts_ms,
+            starts_ms,
+            duration_ms,
+            thresholds,
+            vdt_exp,
+            dt_extra,
+            p,
+            symmetric,
+        }
+    }
+
+    /// One-line human description (stable, for reports and shrink logs).
+    pub fn describe(&self) -> String {
+        format!(
+            "seed={} kind={:?} disc={} flows={} rate={}Mbps buf={}mtu dur={}ms vdt=2^{} dt+{} p={} sym={}",
+            self.seed,
+            self.kind,
+            self.discipline.label(),
+            self.n_flows,
+            self.bottleneck_bps / 1_000_000,
+            self.buffer_mtus,
+            self.duration_ms,
+            self.vdt_exp,
+            self.dt_extra,
+            self.p,
+            self.symmetric,
+        )
+    }
+
+    /// The exact Cebinae config this scenario installs on a bottleneck of
+    /// `rate_bps`. The trace-replay oracle rebuilds its model filter from
+    /// this, so it must match the installed qdisc bit for bit.
+    pub fn cebinae_config(&self, rate_bps: u64) -> CebinaeConfig {
+        let l = Duration(1 << 16);
+        let vdt = Duration(1u64 << self.vdt_exp);
+        let buffer = BufferConfig::mtus(self.buffer_mtus);
+        let drain = tx_time(buffer.bytes, rate_bps);
+        let dt_min = (drain + vdt + l).as_nanos().next_power_of_two();
+        let mut cfg = CebinaeConfig {
+            dt: Duration(dt_min << self.dt_extra),
+            vdt,
+            l,
+            p: self.p,
+            buffer,
+            ..CebinaeConfig::default()
+        };
+        let (dp, df, tau) = self.thresholds;
+        cfg = cfg.with_thresholds(dp, df, tau);
+        cfg.per_flow_top = self.discipline == Discipline::CebinaePerFlowTop;
+        cfg
+    }
+
+    /// Scenario params shared by the builder paths, for `disc`.
+    fn params(&self, disc: Discipline) -> ScenarioParams {
+        let mut p = ScenarioParams::new(self.bottleneck_bps, self.buffer_mtus, disc);
+        p.duration = Duration::from_millis(self.duration_ms);
+        p.sample_interval = Duration::from_millis(100);
+        p.seed = self.seed;
+        p.telemetry = true;
+        p.cebinae_thresholds = self.thresholds;
+        if matches!(disc, Discipline::Cebinae | Discipline::CebinaePerFlowTop) {
+            p.cebinae_override = Some(self.cebinae_config(self.bottleneck_bps));
+        }
+        p
+    }
+
+    /// Build the fairness-oracle run: same topology and flows, but the
+    /// *paper-default* Cebinae configuration (`for_link`, default
+    /// thresholds). Fairness is a property of the tuned controller, so it
+    /// is judged under the recommended parameters; the fuzzed (often
+    /// deliberately twitchy) parameters are exercised by the invariant
+    /// oracles, which must hold for any configuration.
+    pub fn build_fairness(&self, disc: Discipline) -> (SimConfig, Vec<LinkId>) {
+        debug_assert_eq!(self.kind, TopologyKind::Dumbbell, "fairness regime is symmetric dumbbells");
+        let mut p = ScenarioParams::new(self.bottleneck_bps, self.buffer_mtus, disc);
+        p.duration = Duration::from_millis(self.duration_ms);
+        p.sample_interval = Duration::from_millis(100);
+        p.seed = self.seed;
+        let (cfg, b) = dumbbell(&self.dumbbell_flows(), &p);
+        (cfg, vec![b])
+    }
+
+    fn dumbbell_flows(&self) -> Vec<DumbbellFlow> {
+        (0..self.n_flows)
+            .map(|i| {
+                DumbbellFlow::new(self.ccas[i % self.ccas.len()], self.rtts_ms[i % self.rtts_ms.len()])
+                    .starting_at(Time::from_millis(self.starts_ms[i % self.starts_ms.len()]))
+            })
+            .collect()
+    }
+
+    /// Build the simulation for this scenario under `disc` (normally
+    /// `self.discipline`; the fairness oracle rebuilds under Fifo and
+    /// Cebinae). Returns the config and the bottleneck link ids; tracing
+    /// and telemetry are enabled on all bottlenecks.
+    pub fn build_with(&self, disc: Discipline) -> (SimConfig, Vec<LinkId>) {
+        let (mut cfg, bnecks) = match self.kind {
+            TopologyKind::Dumbbell => {
+                let (cfg, b) = dumbbell(&self.dumbbell_flows(), &self.params(disc));
+                (cfg, vec![b])
+            }
+            TopologyKind::ParkingLot => {
+                let segments = 2;
+                // Group 0 crosses everything; group 1 enters mid-path.
+                let long = self.n_flows.div_ceil(2);
+                let short = self.n_flows - long;
+                let mut groups = vec![ParkingLotGroup {
+                    cc: self.ccas[0],
+                    count: long,
+                    enter: 0,
+                    exit: segments,
+                    rtt: Duration::from_millis(self.rtts_ms[0]),
+                }];
+                if short > 0 {
+                    groups.push(ParkingLotGroup {
+                        cc: self.ccas[1 % self.ccas.len()],
+                        count: short,
+                        enter: 1,
+                        exit: segments,
+                        rtt: Duration::from_millis(self.rtts_ms[1 % self.rtts_ms.len()]),
+                    });
+                }
+                parking_lot(segments, &groups, &self.params(disc))
+            }
+            TopologyKind::MultiBottleneck => self.build_multi_bottleneck(disc),
+        };
+        cfg.traced_links = bnecks.clone();
+        // Large enough that the generated scenarios never truncate; the
+        // trace-replay oracle requires the complete offered stream.
+        cfg.trace_capacity = 400_000;
+        (cfg, bnecks)
+    }
+
+    /// Build the scenario under its own sampled discipline.
+    pub fn build(&self) -> (SimConfig, Vec<LinkId>) {
+        self.build_with(self.discipline)
+    }
+
+    /// Rate (bits/sec) of each bottleneck, in the same order as the link
+    /// ids `build` returns — what the trace-replay oracle keys its model
+    /// filters off.
+    pub fn bottleneck_rates(&self) -> Vec<u64> {
+        match self.kind {
+            TopologyKind::Dumbbell => vec![self.bottleneck_bps],
+            // Both parking-lot segments run at the sampled rate.
+            TopologyKind::ParkingLot => vec![self.bottleneck_bps; 2],
+            TopologyKind::MultiBottleneck => {
+                vec![self.bottleneck_bps, self.bottleneck_bps / 2]
+            }
+        }
+    }
+
+    /// Two chained bottlenecks with *different* rates: link A at the
+    /// sampled rate, link B at half of it. Half the flows cross both; the
+    /// rest enter at the middle switch and cross only B.
+    fn build_multi_bottleneck(&self, disc: Discipline) -> (SimConfig, Vec<LinkId>) {
+        let rate_a = self.bottleneck_bps;
+        let rate_b = self.bottleneck_bps / 2;
+        let mut topo = Topology::new();
+        let s0 = topo.add_switch();
+        let s1 = topo.add_switch();
+        let s2 = topo.add_switch();
+        let bneck_delay = Duration::from_micros(5);
+        let (link_a, _) = topo.add_duplex_link(s0, s1, rate_a, bneck_delay);
+        let (link_b, _) = topo.add_duplex_link(s1, s2, rate_b, bneck_delay);
+        let access_rate = rate_a.saturating_mul(4);
+
+        let mut specs = Vec::new();
+        let mut max_rtt = Duration::ZERO;
+        for i in 0..self.n_flows {
+            let rtt = Duration::from_millis(self.rtts_ms[i % self.rtts_ms.len()]);
+            max_rtt = max_rtt.max(rtt);
+            let src = topo.add_host();
+            let dst = topo.add_host();
+            let crosses_both = i % 2 == 0;
+            let entry = if crosses_both { s0 } else { s1 };
+            let hops = if crosses_both { 2u64 } else { 1 };
+            let d_dst = Duration::from_micros(5);
+            let d_src = (rtt / 2).saturating_sub(bneck_delay * hops + d_dst);
+            topo.add_duplex_link(src, entry, access_rate, d_src);
+            topo.add_duplex_link(s2, dst, access_rate, d_dst);
+            specs.push(cebinae_engine::FlowSpec {
+                src,
+                dst,
+                tcp: TcpConfig::with_cc(self.ccas[i % self.ccas.len()]),
+                start: Time::from_millis(self.starts_ms[i % self.starts_ms.len()]),
+            });
+        }
+
+        let buffer = BufferConfig::mtus(self.buffer_mtus);
+        let mut qdiscs = BTreeMap::new();
+        for (link, rate) in [(link_a, rate_a), (link_b, rate_b)] {
+            let spec = match disc {
+                Discipline::Fifo => QdiscSpec::Fifo { buffer },
+                Discipline::FqCoDel => QdiscSpec::FqCoDel(
+                    cebinae_fq_config(buffer.bytes),
+                ),
+                Discipline::Afq => unreachable!("AFQ is not in the sampled set"),
+                Discipline::Cebinae | Discipline::CebinaePerFlowTop => {
+                    QdiscSpec::Cebinae(self.cebinae_config(rate))
+                }
+            };
+            qdiscs.insert(link, spec);
+        }
+        let mut cfg = SimConfig::new(topo, specs);
+        cfg.qdiscs = qdiscs;
+        cfg.monitored_links = vec![link_a, link_b];
+        cfg.duration = Duration::from_millis(self.duration_ms);
+        cfg.sample_interval = Duration::from_millis(100);
+        cfg.seed = self.seed;
+        cfg.telemetry = true;
+        (cfg, vec![link_a, link_b])
+    }
+}
+
+/// FQ-CoDel config for the hand-built topology (mirrors the engine's
+/// `ideal_with_limit` so multi-bottleneck FQ runs match the dumbbell path).
+fn cebinae_fq_config(limit_bytes: u64) -> cebinae_fq::FqCoDelConfig {
+    cebinae_fq::FqCoDelConfig::ideal_with_limit(limit_bytes)
+}
+
+/// Deterministic choice from a non-empty slice.
+fn pick<'a, T>(rng: &mut DetRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range_usize(0, xs.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = GenScenario::generate(seed);
+            let b = GenScenario::generate(seed);
+            assert_eq!(a.describe(), b.describe());
+            assert_eq!(a.ccas, b.ccas);
+            assert_eq!(a.starts_ms, b.starts_ms);
+        }
+    }
+
+    #[test]
+    fn seeds_cover_all_topology_kinds() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..64u64 {
+            kinds.insert(format!("{:?}", GenScenario::generate(seed).kind));
+        }
+        assert_eq!(kinds.len(), 3, "64 seeds must hit all kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn generated_cebinae_configs_validate() {
+        for seed in 0..32u64 {
+            let sc = GenScenario::generate(seed);
+            let cfg = sc.cebinae_config(sc.bottleneck_bps);
+            cfg.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let cfg_b = sc.cebinae_config(sc.bottleneck_bps / 2);
+            cfg_b.validate().unwrap_or_else(|e| panic!("seed {seed} (half rate): {e}"));
+        }
+    }
+
+    #[test]
+    fn all_scenarios_build_and_flows_route() {
+        for seed in 0..16u64 {
+            let sc = GenScenario::generate(seed);
+            let (cfg, bnecks) = sc.build();
+            assert!(!bnecks.is_empty());
+            assert_eq!(cfg.flows.len(), sc.n_flows, "seed {seed}");
+            for f in &cfg.flows {
+                let path = cfg
+                    .topology
+                    .shortest_path(f.src, f.dst)
+                    .unwrap_or_else(|| panic!("seed {seed}: no path"));
+                assert!(
+                    bnecks.iter().any(|b| path.contains(b)),
+                    "seed {seed}: flow avoids every bottleneck"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_scenarios_are_symmetric() {
+        let sym: Vec<GenScenario> = (0..256u64)
+            .map(GenScenario::generate)
+            .filter(|s| s.symmetric)
+            .collect();
+        assert!(!sym.is_empty());
+        for s in sym {
+            assert!(s.ccas.iter().all(|c| *c == s.ccas[0]));
+            assert!(s.rtts_ms.iter().all(|r| *r == s.rtts_ms[0]));
+            assert!(s.starts_ms.iter().all(|t| *t == 0));
+            assert_eq!(s.kind, TopologyKind::Dumbbell);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic failing-seed minimizer.
+//!
+//! A failing scenario is shrunk along dimensions that can be re-applied
+//! from the replay line alone: fewer flows (halving) and a shorter run
+//! (halving, then bisecting down to the shortest still-failing duration).
+//! Because every generator dimension draws from its own forked RNG stream,
+//! overriding one dimension never changes the others — the shrunk scenario
+//! is the original scenario with fewer flows / less time, not a different
+//! scenario.
+
+use crate::scenario::GenScenario;
+
+/// Shortest duration the shrinker will propose: below this, slow-start
+/// barely completes and every oracle is trivially green.
+const MIN_DURATION_MS: u64 = 250;
+const MIN_FLOWS: usize = 2;
+
+/// Replayable overrides on top of a generated scenario. Encoded in the
+/// replay one-liner (`--flows N --dur-ms M`) and in corpus lines
+/// (`seed flows=N dur_ms=M`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Overrides {
+    pub flows: Option<usize>,
+    pub dur_ms: Option<u64>,
+}
+
+impl Overrides {
+    pub fn apply(&self, sc: &mut GenScenario) {
+        if let Some(f) = self.flows {
+            sc.n_flows = f.max(1);
+        }
+        if let Some(d) = self.dur_ms {
+            sc.duration_ms = d.max(1);
+        }
+        // Flows scheduled past the (possibly shortened) run would never
+        // start; clamp into the arrival window the generator uses.
+        let window = sc.duration_ms / 5;
+        for s in &mut sc.starts_ms {
+            *s = (*s).min(window);
+        }
+    }
+
+    /// The generated scenario with these overrides applied.
+    pub fn realize(&self, seed: u64) -> GenScenario {
+        let mut sc = GenScenario::generate(seed);
+        self.apply(&mut sc);
+        sc
+    }
+
+    /// Extra CLI arguments for the replay one-liner ("" when empty).
+    pub fn replay_args(&self) -> String {
+        let mut s = String::new();
+        if let Some(f) = self.flows {
+            s.push_str(&format!(" --flows {f}"));
+        }
+        if let Some(d) = self.dur_ms {
+            s.push_str(&format!(" --dur-ms {d}"));
+        }
+        s
+    }
+
+    /// Corpus-line suffix (`flows=N dur_ms=M`, "" when empty).
+    pub fn corpus_suffix(&self) -> String {
+        let mut s = String::new();
+        if let Some(f) = self.flows {
+            s.push_str(&format!(" flows={f}"));
+        }
+        if let Some(d) = self.dur_ms {
+            s.push_str(&format!(" dur_ms={d}"));
+        }
+        s
+    }
+
+    /// Parse `key=value` corpus tokens (ignores unknown keys).
+    pub fn from_corpus_tokens<'a>(tokens: impl Iterator<Item = &'a str>) -> Overrides {
+        let mut o = Overrides::default();
+        for tok in tokens {
+            if let Some((k, v)) = tok.split_once('=') {
+                match k {
+                    "flows" => o.flows = v.parse().ok(),
+                    "dur_ms" => o.dur_ms = v.parse().ok(),
+                    _ => {}
+                }
+            }
+        }
+        o
+    }
+}
+
+/// The complete replay one-liner for a (possibly shrunk) failing seed.
+pub fn replay_line(seed: u64, o: &Overrides) -> String {
+    format!("cargo run -p cebinae-check -- --replay {seed}{}", o.replay_args())
+}
+
+/// Minimize a failing seed: `fails` must return `true` while the scenario
+/// still exhibits the failure. Deterministic — no randomness, a fixed
+/// sequence of candidate simplifications, each kept only if the failure
+/// persists. Returns the smallest overrides found (possibly empty).
+pub fn shrink(seed: u64, fails: impl Fn(&GenScenario) -> bool) -> Overrides {
+    let base = GenScenario::generate(seed);
+    let mut cur = Overrides::default();
+
+    // 1. Halve the flow count while the failure persists.
+    let mut flows = base.n_flows;
+    while flows / 2 >= MIN_FLOWS {
+        let cand = Overrides {
+            flows: Some(flows / 2),
+            ..cur
+        };
+        if fails(&cand.realize(seed)) {
+            flows /= 2;
+            cur = cand;
+        } else {
+            break;
+        }
+    }
+
+    // 2. Halve the duration while the failure persists...
+    let mut dur = base.duration_ms;
+    while dur / 2 >= MIN_DURATION_MS {
+        let cand = Overrides {
+            dur_ms: Some(dur / 2),
+            ..cur
+        };
+        if fails(&cand.realize(seed)) {
+            dur /= 2;
+            cur = cand;
+        } else {
+            break;
+        }
+    }
+    // ...then bisect between the floor and the last failing duration.
+    let mut lo = MIN_DURATION_MS; // not known to fail
+    let mut hi = dur; // known to fail
+    while hi.saturating_sub(lo) > MIN_DURATION_MS {
+        let mid = lo + (hi - lo) / 2;
+        let cand = Overrides {
+            dur_ms: Some(mid),
+            ..cur
+        };
+        if fails(&cand.realize(seed)) {
+            hi = mid;
+            cur = cand;
+        } else {
+            lo = mid;
+        }
+    }
+
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_round_trip_corpus_tokens() {
+        let o = Overrides {
+            flows: Some(2),
+            dur_ms: Some(500),
+        };
+        let suffix = o.corpus_suffix();
+        let parsed = Overrides::from_corpus_tokens(suffix.split_whitespace());
+        assert_eq!(parsed, o);
+        assert_eq!(Overrides::from_corpus_tokens("".split_whitespace()), Overrides::default());
+    }
+
+    #[test]
+    fn replay_line_is_stable() {
+        let o = Overrides {
+            flows: Some(3),
+            dur_ms: None,
+        };
+        assert_eq!(
+            replay_line(42, &o),
+            "cargo run -p cebinae-check -- --replay 42 --flows 3"
+        );
+        assert_eq!(
+            replay_line(7, &Overrides::default()),
+            "cargo run -p cebinae-check -- --replay 7"
+        );
+    }
+
+    #[test]
+    fn shrink_reduces_flows_and_duration_against_a_synthetic_failure() {
+        // Failure persists whenever the scenario still has >= 2 flows and
+        // >= 300ms: the shrinker must ride it down to the floor.
+        let fails = |sc: &GenScenario| sc.n_flows >= 2 && sc.duration_ms >= 300;
+        let o = shrink(3, fails);
+        let sc = o.realize(3);
+        let base = GenScenario::generate(3);
+        assert!(sc.n_flows >= 2 && sc.n_flows <= base.n_flows);
+        // Repeated halving lands in [2, 3]: one more halving would go
+        // below the floor.
+        assert!(sc.n_flows <= 3, "flows not minimized: {}", sc.n_flows);
+        assert!(sc.duration_ms >= 300);
+        assert!(sc.duration_ms <= 300 + MIN_DURATION_MS, "bisect left {}", sc.duration_ms);
+        assert!(fails(&sc), "shrunk scenario must still fail");
+    }
+
+    #[test]
+    fn shrink_keeps_original_when_any_simplification_heals() {
+        // A failure that vanishes under every candidate simplification:
+        // shrink returns empty overrides (replay the original seed).
+        let base = GenScenario::generate(9);
+        let fails = |sc: &GenScenario| {
+            sc.n_flows == base.n_flows && sc.duration_ms == base.duration_ms
+        };
+        assert_eq!(shrink(9, fails), Overrides::default());
+    }
+
+    #[test]
+    fn apply_clamps_starts_into_the_shortened_run() {
+        // Pick a seed with late (non-symmetric) arrivals, then shrink the
+        // duration far below the original arrival window.
+        let mut seed = 0;
+        let sc = loop {
+            let sc = GenScenario::generate(seed);
+            if !sc.symmetric && sc.starts_ms.iter().any(|&s| s > 60) {
+                break sc;
+            }
+            seed += 1;
+        };
+        let o = Overrides {
+            flows: None,
+            dur_ms: Some(MIN_DURATION_MS),
+        };
+        let shrunk = o.realize(sc.seed);
+        assert!(shrunk.starts_ms.iter().all(|&s| s <= MIN_DURATION_MS / 5));
+    }
+}

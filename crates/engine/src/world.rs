@@ -39,6 +39,17 @@ impl QdiscSpec {
             QdiscSpec::Cebinae(cfg) => Box::new(CebinaeQdisc::new(cfg.clone(), rate_bps, seed)),
         }
     }
+
+    /// Hard buffer limit of the discipline, in bytes — the occupancy bound
+    /// the conformance oracles check against.
+    pub fn limit_bytes(&self) -> u64 {
+        match self {
+            QdiscSpec::Fifo { buffer } => buffer.bytes,
+            QdiscSpec::FqCoDel(cfg) => cfg.limit_bytes,
+            QdiscSpec::Afq(cfg) => cfg.limit_bytes,
+            QdiscSpec::Cebinae(cfg) => cfg.buffer.bytes,
+        }
+    }
 }
 
 /// One flow to simulate.
@@ -160,6 +171,13 @@ pub struct CebinaeSample {
     pub top_flows: usize,
     pub lbf_drops: u64,
     pub delayed_pkts: u64,
+    /// Cumulative saturated<->unsaturated phase flips. A run whose final
+    /// sample reads 0 spent its whole life under the single aggregate
+    /// filter — the regime where the trace-replay oracle can demand exact
+    /// agreement with a model LBF.
+    pub phase_changes: u64,
+    /// Cumulative queue rotations.
+    pub rotations: u64,
 }
 
 /// Results of one simulation run.
@@ -183,6 +201,9 @@ pub struct SimResult {
     pub completed_at: Vec<Option<Time>>,
     /// Final stats of every link's qdisc.
     pub link_stats: Vec<QdiscStats>,
+    /// Hard buffer limit of every link's qdisc, bytes (indexed like
+    /// `link_stats`) — the bound `peak_queued_bytes` must respect.
+    pub link_limits: Vec<u64>,
     pub monitored_links: Vec<LinkId>,
     pub duration: Duration,
     pub events_processed: u64,
@@ -240,6 +261,8 @@ pub struct Simulation {
     fault_drop: f64,
     rng: DetRng,
     monitored: Vec<LinkId>,
+    /// Per-link qdisc buffer limits, indexed by `LinkId`.
+    link_limits: Vec<u64>,
     /// Per-link trace flag, indexed by `LinkId` — the per-packet path does
     /// an O(1) load here instead of scanning the configured link list.
     traced: Vec<bool>,
@@ -282,12 +305,14 @@ impl Simulation {
             cebinae_telemetry::set_enabled(true);
         }
 
+        let mut link_limits = Vec::with_capacity(topology.links().len());
         let links: Vec<LinkRt> = topology
             .links()
             .iter()
             .enumerate()
             .map(|(i, spec)| {
                 let qspec = qdiscs.get(&LinkId::from(i)).cloned().unwrap_or_else(default_fifo);
+                link_limits.push(qspec.limit_bytes());
                 LinkRt {
                     qdisc: qspec.build(spec.rate_bps, seed ^ (i as u64) << 8),
                     busy: false,
@@ -339,6 +364,7 @@ impl Simulation {
             fault_drop,
             rng: DetRng::seed_from_u64(seed ^ 0x5eed),
             monitored: monitored_links,
+            link_limits,
             trace: PacketTrace::with_capacity(trace_capacity),
             traced,
             goodput,
@@ -413,6 +439,7 @@ impl Simulation {
             flow_starts: self.flows.iter().map(|f| f.start).collect(),
             completed_at: self.flows.iter().map(|f| f.completed_at).collect(),
             link_stats: self.links.iter().map(|l| *l.qdisc.stats()).collect(),
+            link_limits: self.link_limits,
             goodput: self.goodput,
             link_tx_series: self.link_tx_series,
             saturated_series: self.saturated_series,
@@ -487,6 +514,8 @@ impl Simulation {
                                 top_flows,
                                 lbf_drops: x.lbf_drops,
                                 delayed_pkts: x.delayed_pkts,
+                                phase_changes: x.phase_changes,
+                                rotations: x.rotations,
                             }
                         })
                         .unwrap_or_default()
@@ -519,10 +548,13 @@ impl Simulation {
             tel.set_counter(scope, "enq_bytes", s.enq_bytes);
             tel.set_counter(scope, "drop_pkts", s.drop_pkts);
             tel.set_counter(scope, "drop_bytes", s.drop_bytes);
+            tel.set_counter(scope, "drop_queued_pkts", s.drop_queued_pkts);
+            tel.set_counter(scope, "drop_queued_bytes", s.drop_queued_bytes);
             tel.set_counter(scope, "tx_pkts", s.tx_pkts);
             tel.set_counter(scope, "tx_bytes", s.tx_bytes);
             tel.set_counter(scope, "ecn_marked", s.ecn_marked);
             tel.set(scope, "peak_queued_bytes", s.peak_queued_bytes);
+            tel.set(scope, "buffer_limit_bytes", self.link_limits[idx]);
             let queued = link.qdisc.byte_len();
             tel.set(scope, "queued_bytes", queued);
             tel.set(scope, "queued_pkts", link.qdisc.pkt_len() as u64);
@@ -531,6 +563,7 @@ impl Simulation {
                 let x = c.xstats();
                 tel.set_counter(scope, "ceb_rotations", x.rotations);
                 tel.set_counter(scope, "ceb_recomputes", x.recomputes);
+                tel.set_counter(scope, "ceb_phase_changes", x.phase_changes);
                 tel.set_counter(scope, "ceb_lbf_drops", x.lbf_drops);
                 tel.set_counter(scope, "ceb_delayed_pkts", x.delayed_pkts);
                 tel.set_counter(scope, "ceb_saturated_rounds", x.saturated_rounds);

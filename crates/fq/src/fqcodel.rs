@@ -105,7 +105,9 @@ impl FqCoDelQdisc {
         if let Some((pkt, _)) = q.queue.pop_front() {
             q.bytes -= pkt.size as u64;
             self.total_bytes -= pkt.size as u64;
-            self.stats.on_drop(pkt.size);
+            // The evicted packet was already admitted and counted by
+            // on_enqueue — record it as a post-admission drop.
+            self.stats.on_drop_queued(pkt.size);
         }
         let _ = now;
     }
@@ -131,7 +133,7 @@ impl FqCoDelQdisc {
                         self.stats.on_tx(pkt.size);
                         return Some(pkt);
                     }
-                    self.stats.on_drop(pkt.size);
+                    self.stats.on_drop_queued(pkt.size);
                     // loop: consider the next head packet
                 }
             }
@@ -161,7 +163,6 @@ impl Qdisc for FqCoDelQdisc {
         q.bytes += size as u64;
         self.total_bytes += size as u64;
         self.stats.on_enqueue(size);
-        self.stats.note_queued(self.total_bytes);
         if !q.scheduled {
             q.scheduled = true;
             q.new_flow = true;
@@ -173,6 +174,10 @@ impl Qdisc for FqCoDelQdisc {
         while self.total_bytes > self.cfg.limit_bytes {
             self.drop_from_fattest(now);
         }
+        // Record occupancy only after the limit is enforced: the transient
+        // overshoot inside this call is not an observable queue state, and
+        // the peak gauge must respect `buffer_limit_bytes`.
+        self.stats.note_queued(self.total_bytes);
         Ok(())
     }
 
@@ -401,6 +406,10 @@ mod tests {
         }
         let s = q.stats();
         assert_eq!(s.enq_pkts, tx + s.drop_pkts);
+        // Every FQ-CoDel drop happens post-admission, so the uniform
+        // identity holds with the queued split: enq = tx + drop_queued.
+        assert_eq!(s.drop_pkts, s.drop_queued_pkts);
+        assert_eq!(s.enq_bytes, s.tx_bytes + s.drop_queued_bytes);
         assert_eq!(q.byte_len(), 0);
         // Ack packets aren't data but should flow through fine too.
         let a = Packet::ack(FlowId(9), 0, false, Time::ZERO, false, Time::ZERO);

@@ -24,8 +24,6 @@ pub mod runner;
 pub mod table2;
 pub mod table3;
 
-#[allow(deprecated)]
-pub use runner::run_dumbbell;
 pub use runner::{run_with_params, Ctx, DumbbellRun, RunMetrics, Table};
 
 /// All experiment names accepted by the CLI and bench harness.

@@ -174,9 +174,29 @@ impl DumbbellRun {
         &mut self.params
     }
 
+    /// Validate the configuration against `flows`: the builder accepts any
+    /// values so sweeps can be composed freely, but a run needs a non-empty
+    /// flow set and physically meaningful parameters.
+    pub fn check(&self, flows: &[DumbbellFlow]) -> Result<(), String> {
+        if flows.is_empty() {
+            return Err("dumbbell run needs at least one flow".into());
+        }
+        self.params.validate()
+    }
+
     /// Run once and compute the standard metric set.
+    ///
+    /// Panics on an invalid configuration; use [`DumbbellRun::try_run`] to
+    /// get the rejection as an error instead.
     pub fn run(&self, flows: &[DumbbellFlow]) -> RunMetrics {
-        run_with_params(flows, &self.params)
+        self.try_run(flows).expect("invalid dumbbell configuration")
+    }
+
+    /// Fallible [`DumbbellRun::run`]: rejects invalid configs (empty flow
+    /// set, zero-capacity link, zero buffer/duration) with a description.
+    pub fn try_run(&self, flows: &[DumbbellFlow]) -> Result<RunMetrics, String> {
+        self.check(flows)?;
+        Ok(run_with_params(flows, &self.params))
     }
 
     /// Run one independent simulation per seed, fanned across `pool`.
@@ -187,7 +207,21 @@ impl DumbbellRun {
         flows: &[DumbbellFlow],
         seeds: &[u64],
     ) -> Vec<RunMetrics> {
-        pool.map(seeds.to_vec(), |_, seed| self.clone().seed(seed).run(flows))
+        self.try_run_trials(pool, flows, seeds)
+            .expect("invalid dumbbell configuration")
+    }
+
+    /// Fallible [`DumbbellRun::run_trials`]: the configuration is checked
+    /// once up front, so a bad config fails fast instead of panicking on a
+    /// worker thread.
+    pub fn try_run_trials(
+        &self,
+        pool: TrialPool,
+        flows: &[DumbbellFlow],
+        seeds: &[u64],
+    ) -> Result<Vec<RunMetrics>, String> {
+        self.check(flows)?;
+        Ok(pool.map(seeds.to_vec(), |_, seed| self.clone().seed(seed).run(flows)))
     }
 }
 
@@ -208,24 +242,6 @@ pub struct RunMetrics {
 /// the run.
 const WARMUP_FRACTION: u64 = 10;
 
-/// Run a dumbbell scenario and compute the standard metrics.
-#[deprecated(note = "use the DumbbellRun builder")]
-pub fn run_dumbbell(
-    flows: &[DumbbellFlow],
-    rate_bps: u64,
-    buffer_mtus: u64,
-    discipline: Discipline,
-    duration: Duration,
-    seed: u64,
-) -> RunMetrics {
-    DumbbellRun::new(rate_bps)
-        .buffer_mtus(buffer_mtus)
-        .discipline(discipline)
-        .duration(duration)
-        .seed(seed)
-        .run(flows)
-}
-
 /// Run with explicit parameters (threshold sweeps etc.).
 pub fn run_with_params(flows: &[DumbbellFlow], p: &ScenarioParams) -> RunMetrics {
     let (cfg, bneck) = dumbbell(flows, p);
@@ -239,26 +255,6 @@ pub fn run_with_params(flows: &[DumbbellFlow], p: &ScenarioParams) -> RunMetrics
         per_flow_bps,
         result,
     }
-}
-
-/// Run the same dumbbell scenario under a batch of seeds, one independent
-/// simulation per seed, fanned across `pool`. Results come back in seed
-/// order regardless of thread count.
-#[deprecated(note = "use DumbbellRun::run_trials")]
-pub fn run_dumbbell_trials(
-    pool: TrialPool,
-    flows: &[DumbbellFlow],
-    rate_bps: u64,
-    buffer_mtus: u64,
-    discipline: Discipline,
-    duration: Duration,
-    seeds: &[u64],
-) -> Vec<RunMetrics> {
-    DumbbellRun::new(rate_bps)
-        .buffer_mtus(buffer_mtus)
-        .discipline(discipline)
-        .duration(duration)
-        .run_trials(pool, flows, seeds)
 }
 
 /// Render a rate in the paper's Table 2 style (Mbps with 4-5 significant
@@ -344,25 +340,50 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_builder() {
+    fn invalid_configs_rejected_with_errors() {
+        let flows = vec![DumbbellFlow::new(CcKind::NewReno, 20)];
+
+        // Empty flow set.
+        let err = DumbbellRun::new(10_000_000).try_run(&[]).err().expect("config should be rejected");
+        assert!(err.contains("at least one flow"), "{err}");
+
+        // Zero-capacity bottleneck.
+        let err = DumbbellRun::new(0).try_run(&flows).err().expect("config should be rejected");
+        assert!(err.contains("capacity"), "{err}");
+
+        // Zero buffer.
+        let err = DumbbellRun::new(10_000_000)
+            .buffer_mtus(0)
+            .try_run(&flows)
+            .err().expect("config should be rejected");
+        assert!(err.contains("buffer"), "{err}");
+
+        // Zero duration.
+        let err = DumbbellRun::new(10_000_000)
+            .duration(Duration::ZERO)
+            .try_run(&flows)
+            .err().expect("config should be rejected");
+        assert!(err.contains("duration"), "{err}");
+
+        // Trials reject up front, before any worker runs.
+        let err = DumbbellRun::new(0)
+            .try_run_trials(cebinae_par::TrialPool::with_threads(2), &flows, &[1, 2])
+            .err().expect("config should be rejected");
+        assert!(err.contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_configs() {
         let flows = vec![DumbbellFlow::new(CcKind::Cubic, 30)];
-        let shim = run_dumbbell(
-            &flows,
-            10_000_000,
-            100,
-            Discipline::Cebinae,
-            Duration::from_secs(2),
-            7,
-        );
-        let built = DumbbellRun::new(10_000_000)
+        let run = DumbbellRun::new(10_000_000)
             .buffer_mtus(100)
             .discipline(Discipline::Cebinae)
             .duration(Duration::from_secs(2))
-            .seed(7)
-            .run(&flows);
-        assert_eq!(shim.per_flow_bps, built.per_flow_bps);
-        assert_eq!(shim.result.events_processed, built.result.events_processed);
+            .seed(7);
+        let a = run.try_run(&flows).unwrap();
+        let b = run.run(&flows);
+        assert_eq!(a.per_flow_bps, b.per_flow_bps);
+        assert_eq!(a.result.events_processed, b.result.events_processed);
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct QdiscStats {
     pub tx_pkts: u64,
     pub tx_bytes: u64,
     pub ecn_marked: u64,
+    /// Of `drop_pkts`/`drop_bytes`: packets that were dropped *after*
+    /// admission (AQM head drops, overload evictions) and therefore already
+    /// counted in `enq_*`. Splitting these out gives every discipline one
+    /// uniform byte-conservation identity, checked by `cebinae-check`:
+    /// `enq_bytes == tx_bytes + drop_queued_bytes + byte_len()`.
+    pub drop_queued_pkts: u64,
+    pub drop_queued_bytes: u64,
     /// High-water mark of buffer occupancy (bytes queued after an
     /// enqueue) — the telemetry layer's view of how close the discipline
     /// ran to its buffer limit.
@@ -61,10 +68,20 @@ impl QdiscStats {
         self.peak_queued_bytes = self.peak_queued_bytes.max(queued_bytes);
     }
 
+    /// A packet rejected at admission (never counted by `on_enqueue`).
     #[inline]
     pub fn on_drop(&mut self, bytes: u32) {
         self.drop_pkts += 1;
         self.drop_bytes += bytes as u64;
+    }
+
+    /// A packet dropped after it was admitted (already counted by
+    /// `on_enqueue`): CoDel head drops, fattest-queue overload evictions.
+    #[inline]
+    pub fn on_drop_queued(&mut self, bytes: u32) {
+        self.on_drop(bytes);
+        self.drop_queued_pkts += 1;
+        self.drop_queued_bytes += bytes as u64;
     }
 
     #[inline]
@@ -162,5 +179,21 @@ mod tests {
         assert_eq!(s.drop_pkts, 1);
         assert_eq!(s.tx_bytes, 52);
         assert_eq!(s.peak_queued_bytes, 1552, "high-water mark, not last value");
+    }
+
+    #[test]
+    fn post_admission_drops_counted_in_both_totals() {
+        let mut s = QdiscStats::default();
+        s.on_enqueue(1500);
+        s.on_enqueue(1500);
+        s.on_drop(52); // admission reject: total only
+        s.on_drop_queued(1500); // head drop: total + queued split
+        assert_eq!(s.drop_pkts, 2);
+        assert_eq!(s.drop_bytes, 1552);
+        assert_eq!(s.drop_queued_pkts, 1);
+        assert_eq!(s.drop_queued_bytes, 1500);
+        // The uniform identity with one packet still queued:
+        let queued = 1500u64; // one admitted packet remains
+        assert_eq!(s.enq_bytes, s.tx_bytes + s.drop_queued_bytes + queued);
     }
 }

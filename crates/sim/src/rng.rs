@@ -96,6 +96,15 @@ impl DetRng {
             xs.swap(i, j);
         }
     }
+
+    /// Split off an independent child stream, advancing this generator by
+    /// one draw. Successive forks yield unrelated streams, and a fork's
+    /// output does not depend on how much the *sibling* streams are later
+    /// consumed — the property the scenario fuzzer relies on so that
+    /// adding a draw to one generation dimension cannot perturb another.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::seed_from_u64(splitmix64(self.next_u64()))
+    }
 }
 
 /// Create the root RNG for an experiment from a human-readable label and a
@@ -111,6 +120,8 @@ pub fn experiment_rng(label: &str, trial: u64) -> DetRng {
 }
 
 /// Derive an independent child RNG (e.g. one per flow) from a parent.
+/// Equivalent to [`DetRng::fork`] modulo the extra splitmix64 whitening the
+/// method applies; kept for existing call sites.
 pub fn child_rng(parent: &mut DetRng) -> DetRng {
     DetRng::seed_from_u64(parent.next_u64())
 }
@@ -173,6 +184,33 @@ mod tests {
         let mut c1 = child_rng(&mut parent);
         let mut c2 = child_rng(&mut parent);
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn fork_streams_are_stable_and_isolated() {
+        // Two forks from identical parents produce identical streams...
+        let mut p1 = DetRng::seed_from_u64(11);
+        let mut p2 = DetRng::seed_from_u64(11);
+        let mut a = p1.fork();
+        let mut b = p2.fork();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // ...and draining one fork does not perturb a sibling fork: the
+        // second fork's stream depends only on the parent's draw count.
+        let mut p3 = DetRng::seed_from_u64(11);
+        let mut first = p3.fork();
+        for _ in 0..1000 {
+            first.next_u64();
+        }
+        let mut p4 = DetRng::seed_from_u64(11);
+        let _untouched = p4.fork();
+        assert_eq!(p3.fork().next_u64(), p4.fork().next_u64());
+        // Successive forks differ from each other and from the parent.
+        let mut p = DetRng::seed_from_u64(5);
+        let mut f1 = p.fork();
+        let mut f2 = p.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
     }
 
     #[test]

@@ -223,6 +223,58 @@ mod tests {
     }
 
     #[test]
+    fn hist_ndjson_round_trips_stably_under_reexport() {
+        // Build a histogram covering the boundary values, export it, parse
+        // the bucket list back, reconstruct a histogram with the same
+        // bucket counts, and re-export: the bucket serialization must be
+        // byte-identical. This is the stability contract the conformance
+        // oracles' NDJSON parser relies on.
+        let mut r = Registry::new();
+        for v in [0u64, 1, (1 << 13) - 1, 1 << 13, 1500, 1500, u64::MAX] {
+            r.observe(Scope::Port(3), "occ", v);
+        }
+        r.sample(5_000);
+        let row = r
+            .ndjson()
+            .lines()
+            .find(|l| l.contains("\"kind\":\"hist\""))
+            .expect("hist row")
+            .to_string();
+        let bucket_str = row
+            .split("\"buckets\":[")
+            .nth(1)
+            .and_then(|s| s.strip_suffix("]}"))
+            .expect("bucket payload");
+        // Parse "[lo,c],[lo,c],..." into pairs.
+        let parsed: Vec<(u64, u64)> = bucket_str
+            .split("],[")
+            .map(|p| {
+                let p = p.trim_start_matches('[').trim_end_matches(']');
+                let (lo, c) = p.split_once(',').expect("pair");
+                (lo.parse().unwrap(), c.parse().unwrap())
+            })
+            .collect();
+        let mut h = Histogram::new();
+        for &(lo, c) in &parsed {
+            for _ in 0..c {
+                h.record(lo); // a bucket's lower bound maps back into it
+            }
+        }
+        let round_tripped: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(parsed, round_tripped);
+        // Re-exporting the same registry at a later instant renders the
+        // same bucket payload again.
+        r.sample(6_000);
+        let again = r
+            .ndjson()
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"hist\""))
+            .nth(1)
+            .expect("second hist row");
+        assert!(again.contains(bucket_str), "{again}");
+    }
+
+    #[test]
     fn identical_update_sequences_export_identical_bytes() {
         let run = || {
             let mut r = Registry::new();

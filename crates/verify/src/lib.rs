@@ -23,7 +23,11 @@
 //! * **R8** — no raw `println!`/`eprintln!` (or `print!`/`eprint!`/`dbg!`)
 //!   in the instrumented sim/net/engine/transport/telemetry crates:
 //!   observability flows through `cebinae-telemetry`, so experiment output
-//!   stays deterministic and machine-readable.
+//!   stays deterministic and machine-readable;
+//! * **R9** — no mutating engine/dataplane/telemetry method calls in the
+//!   fuzzer's oracle modules (`crates/check/src/oracle*`): oracles are
+//!   read-only judges, and replica-driving belongs in `cebinae-check`'s
+//!   model layer.
 //!
 //! A violation can be suppressed with a `// det-ok: <reason>` comment on
 //! the same line or the line above; the reason is mandatory.

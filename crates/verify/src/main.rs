@@ -21,6 +21,7 @@ fn parse_rule(s: &str) -> Option<Rule> {
         "R6" => Some(Rule::R6),
         "R7" => Some(Rule::R7),
         "R8" => Some(Rule::R8),
+        "R9" => Some(Rule::R9),
         "W0" => Some(Rule::Waiver),
         _ => None,
     }
@@ -49,7 +50,7 @@ fn main() -> ExitCode {
                 None => return usage("--skip needs a rule list, e.g. R5,R6"),
             },
             "--help" | "-h" => {
-                eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R8,W0]");
+                eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R9,W0]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -62,7 +63,7 @@ fn main() -> ExitCode {
     match check_workspace(&cfg) {
         Ok(violations) if violations.is_empty() => {
             if cfg.disabled.is_empty() {
-                println!("cebinae-verify: workspace clean (rules R1-R8)");
+                println!("cebinae-verify: workspace clean (rules R1-R9)");
             } else {
                 let skipped: Vec<String> =
                     cfg.disabled.iter().map(|r| r.to_string()).collect();
@@ -89,6 +90,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("cebinae-verify: {msg}");
-    eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R8,W0]");
+    eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R9,W0]");
     ExitCode::from(2)
 }

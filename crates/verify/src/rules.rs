@@ -1,4 +1,4 @@
-//! The determinism & dataplane-safety rules (R1-R8).
+//! The determinism & dataplane-safety rules (R1-R9).
 //!
 //! Each rule is a token-stream pattern match over one file, scoped by the
 //! file's workspace-relative path and filtered by test regions and
@@ -35,6 +35,12 @@ pub enum Rule {
     /// instrumented crates: observability goes through `cebinae-telemetry`
     /// so experiment output stays deterministic and machine-readable.
     R8,
+    /// Oracle code must not mutate simulation state: the fuzzer's judge
+    /// modules (`crates/check/src/oracle*`) may only read results and
+    /// drive their own private model replicas via `cebinae-check::model`;
+    /// calling a mutating engine/dataplane/telemetry method there would
+    /// let the act of checking perturb the run being checked.
+    R9,
     /// `// det-ok:` waivers must carry a reason.
     Waiver,
 }
@@ -50,6 +56,7 @@ impl fmt::Display for Rule {
             Rule::R6 => "R6",
             Rule::R7 => "R7",
             Rule::R8 => "R8",
+            Rule::R9 => "R9",
             Rule::Waiver => "W0",
         };
         f.write_str(s)
@@ -248,6 +255,9 @@ pub fn run_rules(ctx: &FileCtx<'_>, enabled: &dyn Fn(Rule) -> bool, out: &mut Ve
     }
     if enabled(Rule::R8) {
         r8_prints_in_instrumented(ctx, out);
+    }
+    if enabled(Rule::R9) {
+        r9_mutation_in_oracle(ctx, out);
     }
 }
 
@@ -542,6 +552,67 @@ fn r8_prints_in_instrumented(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
                 Rule::R8,
                 format!(
                     "raw `{name}!` in an instrumented crate; record it through `cebinae-telemetry` (or move reporting to the harness)"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R9: state mutation in oracle modules
+// ---------------------------------------------------------------------------
+
+/// The fuzzer's judge modules. `crates/check/src/model.rs` is deliberately
+/// out of scope: driving private replicas is its whole job.
+fn r9_scoped(path: &str) -> bool {
+    path.starts_with("crates/check/src/oracle")
+}
+
+/// Mutating methods on engine, dataplane, and telemetry state. Calling
+/// any of these from an oracle means the checker is steering the system
+/// it is supposed to be judging.
+const R9_MUTATORS: [&str; 15] = [
+    "enqueue",
+    "dequeue",
+    "control",
+    "activate",
+    "classify",
+    "on_rotate",
+    "rotate",
+    "observe",
+    "set_pending_rate",
+    "reset_for_phase",
+    "set_counter",
+    "record",
+    "span_enter",
+    "span_exit",
+    "merge",
+];
+
+fn r9_mutation_in_oracle(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !r9_scoped(ctx.path) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].tok != Tok::Punct(".") {
+            continue;
+        }
+        let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else { continue };
+        if !R9_MUTATORS.contains(&name.as_str()) {
+            continue;
+        }
+        if toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct("(")) {
+            continue;
+        }
+        let line = toks[i + 1].line;
+        if !ctx.exempt(line) {
+            ctx.emit(
+                out,
+                line,
+                Rule::R9,
+                format!(
+                    "mutating call `.{name}(..)` in an oracle module; oracles are read-only judges — move replica-driving into `cebinae-check::model`"
                 ),
             );
         }

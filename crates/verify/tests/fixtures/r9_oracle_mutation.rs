@@ -1,0 +1,29 @@
+//! R9 fixture: mutating engine/dataplane calls inside an oracle module.
+//! Lexes like Rust; never compiled.
+
+fn judge(q: &mut Qdisc, clock: &mut RoundClock, lbf: &mut GroupLbf, reg: &mut Registry) {
+    q.enqueue(pkt, now); // hit: steering the qdisc under judgment
+    let _ = q.dequeue(now); // hit
+    clock.observe(now); // hit
+    clock.rotate(); // hit
+    let _ = lbf.classify(1500, &clock, 0); // hit
+    lbf.on_rotate(0, dt); // hit
+    lbf.set_pending_rate(1e6); // hit
+    reg.record("lbf_drops", 1); // hit
+    hist.merge(&other); // hit
+    q.control(msg); // det-ok: fixture negative — a waived mutation never counts
+    // A comment mentioning q.enqueue(now) never counts.
+    let s = "q.enqueue(now)";
+    let observe = 1; // bare ident without a leading `.` never counts
+    let _ = (s, observe);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn replica_driving_inside_a_test_region_is_exempt() {
+        let mut clock = RoundClock::new(dt, vdt, Time::ZERO);
+        clock.observe(Time::ZERO);
+        clock.rotate();
+    }
+}

@@ -13,6 +13,7 @@ const R5: &str = include_str!("fixtures/r5_hot_path_panics.rs");
 const R6: &str = include_str!("fixtures/r6_float_equality.rs");
 const R7: &str = include_str!("fixtures/r7_threads.rs");
 const R8: &str = include_str!("fixtures/r8_prints.rs");
+const R9: &str = include_str!("fixtures/r9_oracle_mutation.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 
 fn rule_hits(path: &str, src: &str, rule: Rule) -> Vec<Violation> {
@@ -160,6 +161,36 @@ fn r8_allows_harness_core_and_tooling() {
         "crates/engine/examples/fixture.rs",
     ] {
         assert!(rule_hits(path, R8, Rule::R8).is_empty(), "{path}");
+    }
+}
+
+#[test]
+fn r9_flags_mutating_calls_in_oracle_modules() {
+    // enqueue + dequeue + observe + rotate + classify + on_rotate +
+    // set_pending_rate + record + merge; the waived control call, the
+    // comment/string mentions, the bare ident, and the test-region
+    // replica driving never count.
+    for path in [
+        "crates/check/src/oracle.rs",
+        "crates/check/src/oracle/conservation.rs",
+    ] {
+        let hits = rule_hits(path, R9, Rule::R9);
+        assert_eq!(hits.len(), 9, "{path}: {hits:?}");
+        assert!(hits.iter().all(|v| v.message.contains("read-only judges")), "{hits:?}");
+    }
+}
+
+#[test]
+fn r9_scopes_to_oracle_modules_only() {
+    // The model layer drives replicas by design, and nothing outside the
+    // check crate is in scope.
+    for path in [
+        "crates/check/src/model.rs",
+        "crates/check/src/lib.rs",
+        "crates/core/src/fixture.rs",
+        "crates/engine/src/fixture.rs",
+    ] {
+        assert!(rule_hits(path, R9, Rule::R9).is_empty(), "{path}");
     }
 }
 

@@ -1,0 +1,47 @@
+//! Tier-1 gate for the scenario fuzzer: a small in-process smoke campaign
+//! must pass every oracle, render byte-identically on 1 and 8 worker
+//! threads (the determinism contract), and the committed regression
+//! corpus must replay green.
+//!
+//! CI additionally runs the full 32-seed smoke via the CLI; this gate
+//! keeps a plain `cargo test -q` honest with a fraction of the seeds.
+
+use cebinae_check::{parse_corpus, run_campaign, run_corpus};
+use cebinae_par::TrialPool;
+
+const GATE_SEEDS: u64 = 8;
+
+#[test]
+fn smoke_campaign_is_green_and_thread_count_invariant() {
+    let serial = run_campaign(0, GATE_SEEDS, &TrialPool::with_threads(1));
+    assert!(
+        serial.passed(),
+        "smoke campaign failed:\n{}",
+        serial.render()
+    );
+
+    let pooled = run_campaign(0, GATE_SEEDS, &TrialPool::with_threads(8));
+    assert_eq!(
+        serial.render(),
+        pooled.render(),
+        "report bytes differ between 1 and 8 threads"
+    );
+    assert_eq!(serial.fingerprint(), pooled.fingerprint());
+}
+
+#[test]
+fn committed_corpus_replays_green() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/check/corpus/seeds.txt"
+    );
+    let text = std::fs::read_to_string(path).expect("read regression corpus");
+    let entries = parse_corpus(&text).expect("parse regression corpus");
+    assert!(!entries.is_empty(), "regression corpus is empty");
+    let report = run_corpus(&entries, &TrialPool::with_threads(8));
+    assert!(
+        report.passed(),
+        "regression corpus failed:\n{}",
+        report.render()
+    );
+}
