@@ -207,6 +207,17 @@ fn bench_end_to_end(out: &mut Results) {
     }
 }
 
+fn bench_verify(out: &mut Results) {
+    // Cold static-analysis pass over the whole workspace (no cache IO):
+    // the cost a fresh checkout pays in CI. `cebinae-bench --check`
+    // budgets this at < 2 s.
+    let cfg = cebinae_verify::Config::new(cebinae_verify::workspace_root());
+    bench(out, "verify_full_workspace", 1, 5, || {
+        let violations = cebinae_verify::check_workspace(&cfg).expect("workspace walk");
+        black_box(violations.len());
+    });
+}
+
 fn write_json(results: &Results) {
     let mut j = String::from("{\n  \"schema\": \"cebinae-bench-micro-v1\",\n  \"benches\": [\n");
     for (i, (name, median)) in results.iter().enumerate() {
@@ -237,5 +248,6 @@ fn main() {
     bench_cache(&mut results);
     bench_water_filling(&mut results);
     bench_end_to_end(&mut results);
+    bench_verify(&mut results);
     write_json(&results);
 }

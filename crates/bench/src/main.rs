@@ -248,12 +248,39 @@ fn bench_guard_overhead(opts: &Opts) -> GuardOutcome {
     }
 }
 
+/// Cold `cebinae-verify` pass over the workspace. Like the telemetry
+/// guard, this is not an [`Outcome`]: there is no serial/parallel twin —
+/// the gate is an absolute wall-clock budget (cold run < 2 s), so the
+/// static-analysis pass stays cheap enough to run on every `cargo test`.
+struct VerifyOutcome {
+    cold_ms: f64,
+    files: usize,
+    violations: usize,
+}
+
+fn bench_verify(opts: &Opts) -> VerifyOutcome {
+    let cfg = cebinae_verify::Config::new(cebinae_verify::workspace_root());
+    let mut violations = 0;
+    let (cold_ms, ()) = time_reps(opts.reps, || {
+        // `check_workspace` is the cacheless entry point, so every rep is
+        // a true cold run regardless of target/ state.
+        let found = cebinae_verify::check_workspace(&cfg).expect("workspace walk failed");
+        violations = found.len();
+    });
+    // One cached pass purely for the file count in the report.
+    let files = cebinae_verify::check_workspace_cached(&cfg, None)
+        .map(|(_, stats)| stats.files)
+        .unwrap_or(0);
+    VerifyOutcome { cold_ms, files, violations }
+}
+
 fn render_json(
     opts: &Opts,
     cores: usize,
     threads: usize,
     outcomes: &[Outcome],
     guard: &GuardOutcome,
+    verify: &VerifyOutcome,
 ) -> String {
     let mut j = String::from("{\n");
     let _ = writeln!(j, "  \"schema\": \"cebinae-bench-experiments-v1\",");
@@ -288,6 +315,11 @@ fn render_json(
     let _ = writeln!(j, "    \"baseline_ms\": {:.4},", guard.baseline_ms);
     let _ = writeln!(j, "    \"guarded_ms\": {:.4},", guard.guarded_ms);
     let _ = writeln!(j, "    \"overhead\": {:.4}", guard.overhead());
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"verify\": {{");
+    let _ = writeln!(j, "    \"cold_ms\": {:.3},", verify.cold_ms);
+    let _ = writeln!(j, "    \"files\": {},", verify.files);
+    let _ = writeln!(j, "    \"violations\": {}", verify.violations);
     let _ = writeln!(j, "  }}");
     j.push_str("}\n");
     j
@@ -314,8 +346,9 @@ fn main() {
         bench_dumbbell(&opts, &serial, &parallel),
         bench_check_campaign(&opts, threads),
     ];
+    let verify = bench_verify(&opts);
 
-    let json = render_json(&opts, cores, threads, &outcomes, &guard);
+    let json = render_json(&opts, cores, threads, &outcomes, &guard, &verify);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("cebinae-bench: cannot write {}: {e}", opts.out);
         std::process::exit(2);
@@ -343,6 +376,20 @@ fn main() {
             eprintln!(
                 "CHECK FAILED: disabled-telemetry guard overhead {:.2}% >= 3%",
                 guard.overhead() * 100.0
+            );
+            failed = true;
+        }
+        if verify.cold_ms >= 2000.0 {
+            eprintln!(
+                "CHECK FAILED: cold cebinae-verify workspace pass took {:.0} ms >= 2000 ms budget",
+                verify.cold_ms
+            );
+            failed = true;
+        }
+        if verify.violations > 0 {
+            eprintln!(
+                "CHECK FAILED: cebinae-verify found {} violation(s) during the timing pass",
+                verify.violations
             );
             failed = true;
         }

@@ -75,7 +75,7 @@ pub fn recompute(cfg: &CebinaeConfig, input: &RecomputeInput<'_>) -> RecomputeDe
     for (&f, &b) in input.flow_bytes {
         if b as f64 >= threshold {
             top.push((f, b));
-            bottleneck_bytes += b;
+            bottleneck_bytes = bottleneck_bytes.saturating_add(b);
         }
     }
     // `flow_bytes` is a BTreeMap, so iteration (and hence `top`) is

@@ -57,6 +57,7 @@ impl HeavyHitterCache {
 
     #[inline]
     fn index(&self, stage: usize, flow: FlowId) -> usize {
+        // det-ok: stage ranges over 0..stages.len(), and seeds has one entry per stage by construction in new()
         (splitmix64(flow.0 as u64 ^ self.seeds[stage]) % self.slots_per_stage as u64) as usize
     }
 
@@ -64,6 +65,7 @@ impl HeavyHitterCache {
     pub fn update(&mut self, flow: FlowId, bytes: u64) {
         for stage in 0..self.stages.len() {
             let idx = self.index(stage, flow);
+            // det-ok: stage < stages.len() by the loop bound, idx < slots_per_stage by the modulo in index()
             let slot = &mut self.stages[stage][idx];
             match slot.key {
                 None => {
@@ -79,7 +81,7 @@ impl HeavyHitterCache {
                 Some(_) => {} // occupied by another flow; try next stage
             }
         }
-        self.uncounted_bytes += bytes;
+        self.uncounted_bytes = self.uncounted_bytes.saturating_add(bytes);
     }
 
     /// Control-plane poll: return all (flow, bytes) entries and reset the

@@ -127,8 +127,10 @@ impl GroupLbf {
     /// admission = rate·dT per round) while keeping the filter stable
     /// under persistent overload.
     pub fn classify(&mut self, size: u32, clock: &RoundClock, headq: usize) -> LbfVerdict {
+        // det-ok: rate is a [f64; 2] and headq is always 0 or 1 (the qdisc's physical queue id)
         let rate_head = self.rate[headq];
-        let rate_tail = self.rate[1 - headq];
+        let rate_tail = self.rate[1 - headq]; // det-ok: 1 - headq is the other element of the 2-array
+
         let dt_s = clock.dt.as_secs_f64();
         let vdt_s = clock.vdt.as_secs_f64();
         let rel = clock.relative_round();
@@ -165,9 +167,10 @@ impl GroupLbf {
     /// round of its rate, and install any pending CP rate on that queue
     /// (which now becomes the future queue).
     pub fn on_rotate(&mut self, retiring: usize, dt: Duration) {
+        // det-ok: rate is a [f64; 2] and retiring is always 0 or 1 (the old headq)
         self.bytes = (self.bytes - self.rate[retiring] * dt.as_secs_f64()).max(0.0);
         if let Some(r) = self.pending_rate {
-            self.rate[retiring] = r;
+            self.rate[retiring] = r; // det-ok: same 2-array, same 0/1 index
         }
     }
 

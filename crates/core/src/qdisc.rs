@@ -194,13 +194,15 @@ impl CebinaeQdisc {
         // prevents this via the Equation 2 drain guarantee; we splice the
         // (rare, boundary-serialization) leftovers to the front of the new
         // head queue to preserve order, and count occurrences.
+        // det-ok: queues/queue_bytes are 2-arrays and retiring/other are always 0/1
         if !self.queues[retiring].is_empty() {
-            self.xstats.leftover_rotations += 1;
+            self.xstats.leftover_rotations = self.xstats.leftover_rotations.saturating_add(1);
             let other = 1 - retiring;
-            while let Some(pkt) = self.queues[retiring].pop_back() {
+            while let Some(pkt) = self.queues[retiring].pop_back() { // det-ok: 2-array, retiring is 0 or 1
+                // det-ok: same 2-arrays; queue_bytes conservation (enqueue adds, dequeue/splice subtracts) is pinned by the check crate's conservation oracle
                 self.queue_bytes[retiring] -= pkt.size as u64;
-                self.queue_bytes[other] += pkt.size as u64;
-                self.queues[other].push_front(pkt);
+                self.queue_bytes[other] += pkt.size as u64; // det-ok: splice moves bytes between the two queues
+                self.queues[other].push_front(pkt); // det-ok: 2-array, other is 0 or 1
             }
         }
 
@@ -212,10 +214,10 @@ impl CebinaeQdisc {
         }
         self.clock.rotate();
         self.headq = 1 - self.headq;
-        self.rotations += 1;
-        self.xstats.rotations += 1;
+        self.rotations = self.rotations.saturating_add(1);
+        self.xstats.rotations = self.xstats.rotations.saturating_add(1);
         if self.saturated {
-            self.xstats.saturated_rounds += 1;
+            self.xstats.saturated_rounds = self.xstats.saturated_rounds.saturating_add(1);
         }
 
         // Poll & reset the flow cache every dT (§4.2), aggregating into the
@@ -226,7 +228,7 @@ impl CebinaeQdisc {
 
         // Every P-th rotation: recompute (Figure 4 lines 8-28).
         if self.rotations % self.cfg.p as u64 == 0 {
-            self.xstats.recomputes += 1;
+            self.xstats.recomputes = self.xstats.recomputes.saturating_add(1);
             let port_bytes = self.port_tx_bytes - self.cp_last_port_tx;
             self.cp_last_port_tx = self.port_tx_bytes;
             let n_active = self.cp_flow_bytes.len().max(1);
@@ -379,11 +381,12 @@ impl CebinaeQdisc {
     }
 
     fn push(&mut self, queue: usize, pkt: Packet) {
+        // det-ok: queue_bytes is a [u64; 2] indexed by 0/1; it is an occupancy gauge whose conservation the check crate's oracle pins
         self.queue_bytes[queue] += pkt.size as u64;
-        self.queued_total += pkt.size as u64;
+        self.queued_total += pkt.size as u64; // det-ok: occupancy gauge, decremented in dequeue; conservation-oracle-checked
         self.stats.on_enqueue(pkt.size);
         self.stats.note_queued(self.queued_total);
-        self.queues[queue].push_back(pkt);
+        self.queues[queue].push_back(pkt); // det-ok: queues is a 2-array indexed by 0/1
     }
 }
 
@@ -435,16 +438,16 @@ impl Qdisc for CebinaeQdisc {
                 Ok(())
             }
             LbfVerdict::Tail => {
-                self.xstats.delayed_pkts += 1;
+                self.xstats.delayed_pkts = self.xstats.delayed_pkts.saturating_add(1);
                 if self.cfg.enable_ecn && pkt.try_mark_ce() {
-                    self.stats.ecn_marked += 1;
+                    self.stats.ecn_marked = self.stats.ecn_marked.saturating_add(1);
                 }
                 let q = 1 - self.headq;
                 self.push(q, pkt);
                 Ok(())
             }
             LbfVerdict::Drop => {
-                self.xstats.lbf_drops += 1;
+                self.xstats.lbf_drops = self.xstats.lbf_drops.saturating_add(1);
                 self.stats.on_drop(pkt.size);
                 Err((pkt, DropReason::LbfPastTail))
             }
@@ -453,19 +456,21 @@ impl Qdisc for CebinaeQdisc {
 
     fn dequeue(&mut self, _now: Time) -> Option<Packet> {
         // Strict priority: current head queue first.
+        // det-ok: queues is a [VecDeque; 2] and headq is maintained as 0 or 1
         let q = if !self.queues[self.headq].is_empty() {
             self.headq
-        } else if !self.queues[1 - self.headq].is_empty() {
+        } else if !self.queues[1 - self.headq].is_empty() { // det-ok: other element of the 2-array
             1 - self.headq
         } else {
             return None;
         };
-        let pkt = self.queues[q].pop_front()?;
+        let pkt = self.queues[q].pop_front()?; // det-ok: q is 0 or 1 from the branch above
+        // det-ok: occupancy gauges mirroring push(); conservation is pinned by the check crate's oracle, and debug tests would catch underflow
         self.queue_bytes[q] -= pkt.size as u64;
-        self.queued_total -= pkt.size as u64;
+        self.queued_total -= pkt.size as u64; // det-ok: occupancy gauge, matched with push()
         self.stats.on_tx(pkt.size);
         // Egress pipeline: port byte counter (§4.1) + flow cache (§4.2).
-        self.port_tx_bytes += pkt.size as u64;
+        self.port_tx_bytes = self.port_tx_bytes.saturating_add(pkt.size as u64);
         self.cache.update(pkt.flow, pkt.size as u64);
         Some(pkt)
     }

@@ -541,7 +541,7 @@ impl Simulation {
         };
         for l in &self.monitored {
             let idx = l.index();
-            let scope = Scope::Port(idx as u32);
+            let scope = Scope::Port(idx as u32); // det-ok: link count is far below u32::MAX; scope ids are u32 by schema
             let link = &self.links[idx];
             let s = link.qdisc.stats();
             tel.set_counter(scope, "enq_pkts", s.enq_pkts);
@@ -581,7 +581,7 @@ impl Simulation {
             }
         }
         for (i, f) in self.flows.iter().enumerate() {
-            let scope = Scope::Flow(i as u32);
+            let scope = Scope::Flow(i as u32); // det-ok: flow count is far below u32::MAX; scope ids are u32 by schema
             let snap = f.sender.telemetry_snapshot();
             tel.set(scope, "cwnd", snap.cwnd);
             tel.set(scope, "flight", snap.flight);

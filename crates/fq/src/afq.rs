@@ -94,13 +94,14 @@ impl Qdisc for AfqQdisc {
             self.stats.on_drop(pkt.size);
             return Err((pkt, DropReason::CalendarHorizon));
         }
-        *counter += pkt.size as u64;
+        *counter += pkt.size as u64; // det-ok: per-flow bid counter, reset each epoch; u64 cannot overflow within a run
         let qi = (bid_round % self.cfg.n_queues as u64) as usize;
+        // det-ok: qi < n_queues by the modulo; queue_bytes is an occupancy gauge mirrored in dequeue
         self.queue_bytes[qi] += pkt.size as u64;
-        self.total_bytes += pkt.size as u64;
+        self.total_bytes += pkt.size as u64; // det-ok: aggregate occupancy gauge, decremented in dequeue
         self.stats.on_enqueue(pkt.size);
         self.stats.note_queued(self.total_bytes);
-        self.queues[qi].push_back(pkt);
+        self.queues[qi].push_back(pkt); // det-ok: qi < n_queues by the modulo above
         Ok(())
     }
 
@@ -111,9 +112,10 @@ impl Qdisc for AfqQdisc {
         // Serve the current round's queue; advance rounds past empty queues.
         loop {
             let qi = (self.round % self.cfg.n_queues as u64) as usize;
-            if let Some(pkt) = self.queues[qi].pop_front() {
+            if let Some(pkt) = self.queues[qi].pop_front() { // det-ok: qi < n_queues by the modulo
+                // det-ok: occupancy gauges mirroring enqueue; every popped packet's bytes were added there
                 self.queue_bytes[qi] -= pkt.size as u64;
-                self.total_bytes -= pkt.size as u64;
+                self.total_bytes -= pkt.size as u64; // det-ok: aggregate gauge, same argument
                 self.stats.on_tx(pkt.size);
                 return Some(pkt);
             }

@@ -101,10 +101,13 @@ impl FqCoDelQdisc {
         else {
             return;
         };
-        let q = self.flows.get_mut(&bucket).expect("bucket exists");
+        let Some(q) = self.flows.get_mut(&bucket) else {
+            return; // bucket vanished between scan and lookup (cannot happen, but no panic)
+        };
         if let Some((pkt, _)) = q.queue.pop_front() {
+            // det-ok: occupancy gauges; the popped packet's bytes were added on enqueue
             q.bytes -= pkt.size as u64;
-            self.total_bytes -= pkt.size as u64;
+            self.total_bytes -= pkt.size as u64; // det-ok: same conservation argument, aggregate gauge
             // The evicted packet was already admitted and counted by
             // on_enqueue — record it as a post-admission drop.
             self.stats.on_drop_queued(pkt.size);
@@ -119,8 +122,9 @@ impl FqCoDelQdisc {
             let ecn_mode = self.cfg.ecn;
             let q = self.flows.get_mut(&bucket)?;
             let (mut pkt, enq_time) = q.queue.pop_front()?;
+            // det-ok: occupancy gauges mirroring enqueue; conservation checked by the fq invariant tests
             q.bytes -= pkt.size as u64;
-            self.total_bytes -= pkt.size as u64;
+            self.total_bytes -= pkt.size as u64; // det-ok: aggregate occupancy gauge, same argument
             match q.codel.on_dequeue(enq_time, now, q.bytes) {
                 CodelVerdict::Deliver => {
                     self.stats.on_tx(pkt.size);
@@ -129,7 +133,7 @@ impl FqCoDelQdisc {
                 CodelVerdict::Drop => {
                     if ecn_mode && pkt.try_mark_ce() {
                         // Mark instead of dropping (RFC 8290 §4.2).
-                        self.stats.ecn_marked += 1;
+                        self.stats.ecn_marked = self.stats.ecn_marked.saturating_add(1);
                         self.stats.on_tx(pkt.size);
                         return Some(pkt);
                     }
@@ -160,8 +164,9 @@ impl Qdisc for FqCoDelQdisc {
             new_flow: false,
         });
         q.queue.push_back((pkt, now));
+        // det-ok: occupancy gauges, decremented on dequeue/drop; admission cap bounds them
         q.bytes += size as u64;
-        self.total_bytes += size as u64;
+        self.total_bytes += size as u64; // det-ok: aggregate occupancy gauge, same argument
         self.stats.on_enqueue(size);
         if !q.scheduled {
             q.scheduled = true;

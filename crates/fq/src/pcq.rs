@@ -97,14 +97,15 @@ impl Qdisc for PcqQdisc {
             self.stats.on_drop(pkt.size);
             return Err((pkt, DropReason::CalendarHorizon));
         }
-        *counter += pkt.size as u64;
+        *counter += pkt.size as u64; // det-ok: per-flow bid counter, reset each epoch; u64 cannot overflow within a run
         let offset = (bid_round - self.round) as usize;
         let qi = (self.head + offset) % self.cfg.n_queues;
+        // det-ok: qi < n_queues by the modulo; ring_bytes is an occupancy gauge mirrored in dequeue
         self.ring_bytes[qi] += pkt.size as u64;
-        self.total_bytes += pkt.size as u64;
+        self.total_bytes += pkt.size as u64; // det-ok: aggregate occupancy gauge, decremented in dequeue
         self.stats.on_enqueue(pkt.size);
         self.stats.note_queued(self.total_bytes);
-        self.ring[qi].push_back(pkt);
+        self.ring[qi].push_back(pkt); // det-ok: qi < n_queues by the modulo above
         Ok(())
     }
 
@@ -113,12 +114,14 @@ impl Qdisc for PcqQdisc {
             return None;
         }
         loop {
-            if let Some(pkt) = self.ring[self.head].pop_front() {
+            if let Some(pkt) = self.ring[self.head].pop_front() { // det-ok: head is kept < n_queues by rotate()
+                // det-ok: occupancy gauges mirroring enqueue; head < n_queues by rotate()
                 self.ring_bytes[self.head] -= pkt.size as u64;
-                self.total_bytes -= pkt.size as u64;
+                self.total_bytes -= pkt.size as u64; // det-ok: aggregate gauge, same argument
                 self.stats.on_tx(pkt.size);
                 // PCQ's eager rotation: a just-drained head immediately
                 // recycles as the furthest-future queue.
+                // det-ok: head < n_queues by rotate()
                 if self.ring[self.head].is_empty() {
                     self.rotate();
                 }

@@ -42,7 +42,7 @@ impl Qdisc for FifoQdisc {
             return Err((pkt, DropReason::BufferFull));
         }
         self.stats.on_enqueue(pkt.size);
-        self.queued_bytes += pkt.size as u64;
+        self.queued_bytes += pkt.size as u64; // det-ok: occupancy gauge, decremented in dequeue; admission check above bounds it
         self.stats.note_queued(self.queued_bytes);
         self.queue.push_back(pkt);
         Ok(())
@@ -50,7 +50,7 @@ impl Qdisc for FifoQdisc {
 
     fn dequeue(&mut self, _now: Time) -> Option<Packet> {
         let pkt = self.queue.pop_front()?;
-        self.queued_bytes -= pkt.size as u64;
+        self.queued_bytes -= pkt.size as u64; // det-ok: occupancy gauge; every queued packet was added in enqueue, so underflow is impossible
         self.stats.on_tx(pkt.size);
         Some(pkt)
     }

@@ -58,8 +58,8 @@ pub struct QdiscStats {
 impl QdiscStats {
     #[inline]
     pub fn on_enqueue(&mut self, bytes: u32) {
-        self.enq_pkts += 1;
-        self.enq_bytes += bytes as u64;
+        self.enq_pkts = self.enq_pkts.saturating_add(1);
+        self.enq_bytes = self.enq_bytes.saturating_add(bytes as u64);
     }
 
     /// Record the post-enqueue occupancy; keeps the high-water mark.
@@ -71,8 +71,8 @@ impl QdiscStats {
     /// A packet rejected at admission (never counted by `on_enqueue`).
     #[inline]
     pub fn on_drop(&mut self, bytes: u32) {
-        self.drop_pkts += 1;
-        self.drop_bytes += bytes as u64;
+        self.drop_pkts = self.drop_pkts.saturating_add(1);
+        self.drop_bytes = self.drop_bytes.saturating_add(bytes as u64);
     }
 
     /// A packet dropped after it was admitted (already counted by
@@ -80,14 +80,14 @@ impl QdiscStats {
     #[inline]
     pub fn on_drop_queued(&mut self, bytes: u32) {
         self.on_drop(bytes);
-        self.drop_queued_pkts += 1;
-        self.drop_queued_bytes += bytes as u64;
+        self.drop_queued_pkts = self.drop_queued_pkts.saturating_add(1);
+        self.drop_queued_bytes = self.drop_queued_bytes.saturating_add(bytes as u64);
     }
 
     #[inline]
     pub fn on_tx(&mut self, bytes: u32) {
-        self.tx_pkts += 1;
-        self.tx_bytes += bytes as u64;
+        self.tx_pkts = self.tx_pkts.saturating_add(1);
+        self.tx_bytes = self.tx_bytes.saturating_add(bytes as u64);
     }
 }
 

@@ -706,7 +706,7 @@ impl TcpSender {
                 continue;
             }
             // New data.
-            let len = (remaining.min(self.cfg.mss as u64)) as u32;
+            let len = (remaining.min(self.cfg.mss as u64)) as u32; // det-ok: min() clamps to mss, which is u32
             let app_limited = remaining <= self.cfg.mss as u64 && self.cfg.app_bytes.is_some();
             let seq = self.snd_nxt;
             if self.flight_bytes == 0 {

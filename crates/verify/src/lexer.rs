@@ -51,6 +51,9 @@ pub struct Lexed {
     pub waivers: BTreeMap<usize, String>,
     /// Waivers with an empty reason — these are themselves diagnosed.
     pub empty_waivers: Vec<usize>,
+    /// File-scoped `// unit: name=bytes, budget=ns` annotations binding a
+    /// unit to identifiers whose names carry no unit suffix (rule R10).
+    pub unit_bindings: BTreeMap<String, String>,
 }
 
 impl Lexed {
@@ -82,12 +85,22 @@ pub fn lex(src: &str) -> Lexed {
             b'/' if b.get(i + 1) == Some(&b'/') => {
                 let end = src[i..].find('\n').map(|o| i + o).unwrap_or(b.len());
                 let text = &src[i..end];
-                if let Some(rest) = text.trim_start_matches('/').trim_start().strip_prefix("det-ok") {
+                let body = text.trim_start_matches('/').trim_start();
+                if let Some(rest) = body.strip_prefix("det-ok") {
                     let reason = rest.trim_start_matches(':').trim();
                     if reason.is_empty() {
                         out.empty_waivers.push(line);
                     } else {
                         out.waivers.insert(line, reason.to_string());
+                    }
+                } else if let Some(rest) = body.strip_prefix("unit:") {
+                    for part in rest.split(',') {
+                        if let Some((name, unit)) = part.split_once('=') {
+                            let (name, unit) = (name.trim(), unit.trim());
+                            if !name.is_empty() && !unit.is_empty() {
+                                out.unit_bindings.insert(name.into(), unit.into());
+                            }
+                        }
                     }
                 }
                 i = end;

@@ -1,35 +1,27 @@
 //! CLI for the workspace determinism pass.
 //!
 //! ```text
-//! cargo run -p cebinae-verify             # check the whole workspace
+//! cargo run -p cebinae-verify                   # check the whole workspace
 //! cargo run -p cebinae-verify -- --skip R5,R8
 //! cargo run -p cebinae-verify -- --root path/to/tree
+//! cargo run -p cebinae-verify -- --format json  # machine-readable report
+//! cargo run -p cebinae-verify -- --explain R12  # rationale + fix example
+//! cargo run -p cebinae-verify -- --no-cache     # force a cold run
 //! ```
 //!
 //! Exit status 0 when clean, 1 on any violation, 2 on usage/IO errors.
 
-use cebinae_verify::{check_workspace, Config, Rule};
+use cebinae_verify::{check_workspace, check_workspace_cached, report, Config, Rule};
 use std::process::ExitCode;
 
-fn parse_rule(s: &str) -> Option<Rule> {
-    match s.trim().to_ascii_uppercase().as_str() {
-        "R1" => Some(Rule::R1),
-        "R2" => Some(Rule::R2),
-        "R3" => Some(Rule::R3),
-        "R4" => Some(Rule::R4),
-        "R5" => Some(Rule::R5),
-        "R6" => Some(Rule::R6),
-        "R7" => Some(Rule::R7),
-        "R8" => Some(Rule::R8),
-        "R9" => Some(Rule::R9),
-        "W0" => Some(Rule::Waiver),
-        _ => None,
-    }
-}
+const USAGE: &str = "usage: cebinae-verify [--root DIR] [--skip R1,..,R12,W0] \
+[--format text|json] [--explain RULE] [--no-cache]";
 
 fn main() -> ExitCode {
     let mut root = cebinae_verify::workspace_root();
     let mut disabled = Vec::new();
+    let mut json = false;
+    let mut use_cache = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -41,7 +33,7 @@ fn main() -> ExitCode {
             "--skip" => match args.next() {
                 Some(list) => {
                     for part in list.split(',') {
-                        match parse_rule(part) {
+                        match Rule::parse(part) {
                             Some(r) => disabled.push(r),
                             None => return usage(&format!("unknown rule `{part}`")),
                         }
@@ -49,8 +41,27 @@ fn main() -> ExitCode {
                 }
                 None => return usage("--skip needs a rule list, e.g. R5,R6"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => return usage(&format!("unknown format `{other}`")),
+                None => return usage("--format needs `text` or `json`"),
+            },
+            "--explain" => match args.next() {
+                Some(r) => {
+                    return match Rule::parse(&r) {
+                        Some(rule) => {
+                            print!("{}", explain(rule));
+                            ExitCode::SUCCESS
+                        }
+                        None => usage(&format!("unknown rule `{r}`")),
+                    }
+                }
+                None => return usage("--explain needs a rule id, e.g. R12"),
+            },
+            "--no-cache" => use_cache = false,
             "--help" | "-h" => {
-                eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R9,W0]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -60,26 +71,37 @@ fn main() -> ExitCode {
     let mut cfg = Config::new(root);
     cfg.disabled = disabled;
 
-    match check_workspace(&cfg) {
-        Ok(violations) if violations.is_empty() => {
-            if cfg.disabled.is_empty() {
-                println!("cebinae-verify: workspace clean (rules R1-R9)");
-            } else {
-                let skipped: Vec<String> =
-                    cfg.disabled.iter().map(|r| r.to_string()).collect();
-                println!(
-                    "cebinae-verify: workspace clean (skipped: {})",
-                    skipped.join(",")
-                );
-            }
-            ExitCode::SUCCESS
-        }
+    let result = if use_cache {
+        check_workspace_cached(&cfg, None).map(|(v, _)| v)
+    } else {
+        check_workspace(&cfg)
+    };
+
+    match result {
         Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
+            if json {
+                print!("{}", report::render_json(&violations));
+                return if violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
             }
-            println!("cebinae-verify: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            if violations.is_empty() {
+                if cfg.disabled.is_empty() {
+                    println!("cebinae-verify: workspace clean (rules R1-R12)");
+                } else {
+                    let skipped: Vec<String> =
+                        cfg.disabled.iter().map(|r| r.to_string()).collect();
+                    println!(
+                        "cebinae-verify: workspace clean (skipped: {})",
+                        skipped.join(",")
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!("cebinae-verify: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("cebinae-verify: IO error: {e}");
@@ -90,6 +112,97 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("cebinae-verify: {msg}");
-    eprintln!("usage: cebinae-verify [--root DIR] [--skip R1,..,R9,W0]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
+}
+
+/// Rationale + a fix example per rule (`--explain`).
+fn explain(rule: Rule) -> String {
+    let (why, bad, good) = match rule {
+        Rule::R1 => (
+            "Simulated experiments must not observe host time: any wall-clock read makes \
+             a run irreproducible. Time comes from the event loop (`cebinae_sim::Time`).",
+            "let t0 = std::time::Instant::now();",
+            "let now: Time = world.now(); // simulated clock",
+        ),
+        Rule::R2 => (
+            "Ambient entropy (thread_rng, RandomState, OS entropy) breaks run-to-run \
+             determinism. All randomness flows from an explicit seed.",
+            "let x = rand::random::<u64>();",
+            "let x = det_rng.next_u64(); // cebinae_sim::rng::DetRng, seeded",
+        ),
+        Rule::R3 => (
+            "HashMap/HashSet iteration order is unspecified, so any fold over it can \
+             differ between runs or hosts.",
+            "for (k, v) in hash_map.iter() { .. }",
+            "let map: BTreeMap<K, V> = ..; for (k, v) in map.iter() { .. }",
+        ),
+        Rule::R4 => (
+            "Reading the environment mid-run lets ambient state steer the dataplane. \
+             Read once at construction and cache.",
+            "if std::env::var(\"DEBUG\").is_ok() { .. } // inside enqueue",
+            "struct Qdisc { debug: bool } // env read once in new()",
+        ),
+        Rule::R5 => (
+            "A panic anywhere in the transitive closure of an enqueue/dequeue/rotate \
+             entry point can abort a rotation mid-flight. The call graph is analyzed \
+             workspace-wide, and every finding carries its reachability trace.",
+            "let q = self.flows.get_mut(&b).expect(\"exists\"); // called from enqueue",
+            "let Some(q) = self.flows.get_mut(&b) else { return }; // degrade, don't abort",
+        ),
+        Rule::R6 => (
+            "Float equality is representation-sensitive; metrics comparisons need a \
+             tolerance or an ordered predicate.",
+            "if share == 0.25 { .. }",
+            "if (share - 0.25).abs() < 1e-9 { .. }",
+        ),
+        Rule::R7 => (
+            "A simulated timeline is strictly sequential; threads inside the simulation \
+             crates would race the event loop. Parallelism fans across trials in \
+             `cebinae_par::TrialPool`.",
+            "std::thread::spawn(|| run_trial(seed));",
+            "pool.run(trials) // cebinae_par::TrialPool, outside the sim crates",
+        ),
+        Rule::R8 => (
+            "Raw prints from instrumented crates interleave nondeterministically with \
+             harness output; observability goes through cebinae-telemetry.",
+            "println!(\"rotated at {now}\");",
+            "telemetry::counter(\"rotations\").inc(); // or report from the harness",
+        ),
+        Rule::R9 => (
+            "Fuzzer oracles are read-only judges; driving the system under test from an \
+             oracle perturbs the run being checked.",
+            "world.qdisc.enqueue(pkt, now); // inside an oracle",
+            "model.replica.enqueue(pkt, now); // private replica in check::model",
+        ),
+        Rule::R10 => (
+            "Mixing units (ns vs bytes vs bps) under +/-/comparison is the classic \
+             silent rate-math bug. Units are inferred from name suffixes (_ns, _bytes, \
+             _bps, _pkts, ..) and `// unit: name=u` annotations.",
+            "if elapsed_ns > budget_bytes { .. }",
+            "let budget_ns = bytes_to_ns(budget_bytes, rate_bps); if elapsed_ns > budget_ns { .. }",
+        ),
+        Rule::R11 => (
+            "Narrowing `as` casts truncate silently; packet/byte/time quantities in the \
+             dataplane must widen or prove their bound.",
+            "let idx = flow_id as u32;",
+            "let idx = u32::try_from(flow_id).expect(\"bounded by config\"); // or waive with the bound",
+        ),
+        Rule::R12 => (
+            "A bare `+=` on a monotone counter in the hot path wraps in release builds \
+             after ~2^64 bytes/events; saturating arithmetic keeps stats sane, and \
+             occupancy gauges can waive with their conservation invariant.",
+            "self.stats.tx_bytes += pkt.size as u64;",
+            "self.stats.tx_bytes = self.stats.tx_bytes.saturating_add(pkt.size as u64);",
+        ),
+        Rule::Waiver => (
+            "`// det-ok:` waivers must say *why* the waived line is deterministic/safe; \
+             an empty reason defeats review.",
+            "// det-ok:",
+            "// det-ok: rate is a [f64; 2] indexed by headq which is always 0 or 1",
+        ),
+    };
+    format!(
+        "{rule}: {why}\n\n  flagged:\n    {bad}\n  preferred:\n    {good}\n"
+    )
 }

@@ -1,11 +1,15 @@
-//! The determinism & dataplane-safety rules (R1-R9).
+//! The determinism & dataplane-safety rules (R1-R12).
 //!
-//! Each rule is a token-stream pattern match over one file, scoped by the
-//! file's workspace-relative path and filtered by test regions and
-//! `// det-ok: <reason>` waivers. The rules are deliberately heuristic —
-//! they match what this workspace actually writes, and the fixture
-//! self-tests in `tests/rules.rs` pin both the positive and negative
-//! cases for every rule.
+//! Most rules are token-stream pattern matches over one file, scoped by
+//! the file's workspace-relative path and filtered by test regions and
+//! `// det-ok: <reason>` waivers. R5 and R12 are *workspace-global*:
+//! they run over the call graph (`crate::callgraph`) so a panic or an
+//! overflow-prone counter update anywhere in the transitive closure of
+//! an enqueue/dequeue/rotate entry point is caught, not just in the
+//! entry's own body. The rules are deliberately heuristic — they match
+//! what this workspace actually writes, and the fixture self-tests in
+//! `tests/rules.rs` / `tests/analysis.rs` pin both the positive and
+//! negative cases for every rule.
 
 use crate::lexer::{Lexed, Tok, Token};
 use std::fmt;
@@ -41,6 +45,18 @@ pub enum Rule {
     /// calling a mutating engine/dataplane/telemetry method there would
     /// let the act of checking perturb the run being checked.
     R9,
+    /// No cross-unit arithmetic or comparison: identifiers carrying
+    /// different inferred units (`_ns` vs `_bytes` vs `_bps` …, or a
+    /// `// unit: name=u` annotation) must not meet under `+`, `-`, or a
+    /// comparison operator.
+    R10,
+    /// No lossy `as` narrowing casts (`as u32`, `as f32`, …) in
+    /// sim/net/engine/transport/fq dataplane code.
+    R11,
+    /// No bare `+=`/`-=` on monotone counters in hot paths; use
+    /// `saturating_*`/`checked_*` or waive with the invariant that
+    /// bounds the counter.
+    R12,
     /// `// det-ok:` waivers must carry a reason.
     Waiver,
 }
@@ -57,10 +73,52 @@ impl fmt::Display for Rule {
             Rule::R7 => "R7",
             Rule::R8 => "R8",
             Rule::R9 => "R9",
+            Rule::R10 => "R10",
+            Rule::R11 => "R11",
+            Rule::R12 => "R12",
             Rule::Waiver => "W0",
         };
         f.write_str(s)
     }
+}
+
+impl Rule {
+    /// Parse a rule id (`"R5"`, `"r12"`, `"W0"`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
+            "R9" => Some(Rule::R9),
+            "R10" => Some(Rule::R10),
+            "R11" => Some(Rule::R11),
+            "R12" => Some(Rule::R12),
+            "W0" => Some(Rule::Waiver),
+            _ => None,
+        }
+    }
+
+    /// Every rule id, in report order.
+    pub const ALL: [Rule; 13] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+        Rule::R9,
+        Rule::R10,
+        Rule::R11,
+        Rule::R12,
+        Rule::Waiver,
+    ];
 }
 
 /// One diagnostic.
@@ -72,11 +130,19 @@ pub struct Violation {
     pub line: usize,
     pub rule: Rule,
     pub message: String,
+    /// For the transitive rules (R5, R12): the call chain from a hot
+    /// entry point to the function containing the finding, as
+    /// `name (file:line)` segments. Empty for per-file rules.
+    pub trace: Vec<String>,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)?;
+        if !self.trace.is_empty() {
+            write!(f, " [reached via: {}]", self.trace.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -100,8 +166,9 @@ const R3_CRATES: [&str; 5] = ["sim", "net", "core", "engine", "transport"];
 /// Dataplane crates for R4 (env must be read once, at construction).
 const R4_CRATES: [&str; 4] = ["core", "net", "fq", "transport"];
 
-/// Crates whose enqueue/dequeue/rotate paths are hot (R5).
-const R5_CRATES: [&str; 3] = ["core", "net", "fq"];
+/// Crates whose enqueue/dequeue/rotate paths are hot (R5, R12 entry
+/// points — the transitive analyses in `crate::callgraph` start here).
+pub const R5_CRATES: [&str; 3] = ["core", "net", "fq"];
 
 /// Float-comparison-sensitive crates for R6.
 const R6_CRATES: [&str; 2] = ["core", "metrics"];
@@ -118,7 +185,7 @@ const R7_CRATES: [&str; 8] = [
 /// harness/bench report to stdout by design, so neither is listed.
 const R8_CRATES: [&str; 5] = ["sim", "net", "engine", "transport", "telemetry"];
 
-fn in_crate_src(path: &str, crates: &[&str]) -> bool {
+pub fn in_crate_src(path: &str, crates: &[&str]) -> bool {
     crates
         .iter()
         .any(|c| path.starts_with(&format!("crates/{c}/src/")))
@@ -218,12 +285,18 @@ impl<'a> FileCtx<'a> {
         FileCtx { path, lexed, tests }
     }
 
-    fn exempt(&self, line: usize) -> bool {
+    pub(crate) fn exempt(&self, line: usize) -> bool {
         self.lexed.waived(line) || in_ranges(&self.tests, line)
     }
 
     fn emit(&self, out: &mut Vec<Violation>, line: usize, rule: Rule, message: String) {
-        out.push(Violation { file: self.path.to_string(), line, rule, message });
+        out.push(Violation {
+            file: self.path.to_string(),
+            line,
+            rule,
+            message,
+            trace: Vec::new(),
+        });
     }
 }
 
@@ -244,9 +317,8 @@ pub fn run_rules(ctx: &FileCtx<'_>, enabled: &dyn Fn(Rule) -> bool, out: &mut Ve
     if enabled(Rule::R4) {
         r4_env_in_dataplane(ctx, out);
     }
-    if enabled(Rule::R5) {
-        r5_panics_in_hot_path(ctx, out);
-    }
+    // R5 and R12 are workspace-global (call-graph-transitive): see
+    // `crate::callgraph::run_hot_path_rules`.
     if enabled(Rule::R6) {
         r6_float_equality(ctx, out);
     }
@@ -258,6 +330,12 @@ pub fn run_rules(ctx: &FileCtx<'_>, enabled: &dyn Fn(Rule) -> bool, out: &mut Ve
     }
     if enabled(Rule::R9) {
         r9_mutation_in_oracle(ctx, out);
+    }
+    if enabled(Rule::R10) {
+        crate::units::r10_cross_unit(ctx, out);
+    }
+    if enabled(Rule::R11) {
+        crate::units::r11_narrowing_casts(ctx, out);
     }
 }
 
@@ -420,75 +498,13 @@ fn r4_env_in_dataplane(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
-// R5: panics in hot paths
+// R5: panics in hot paths (entry-point predicate; the analysis itself is
+// call-graph-transitive and lives in `crate::callgraph`)
 // ---------------------------------------------------------------------------
 
-fn hot_fn(name: &str) -> bool {
+/// Is `name` an enqueue/dequeue/rotate hot entry point?
+pub fn hot_fn(name: &str) -> bool {
     name == "enqueue" || name == "dequeue" || name.contains("rotate")
-}
-
-fn r5_panics_in_hot_path(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
-    if !in_crate_src(ctx.path, &R5_CRATES) {
-        return;
-    }
-    let toks = &ctx.lexed.tokens;
-
-    // Collect body ranges of hot functions (token index ranges).
-    let mut hot: Vec<(usize, usize)> = Vec::new();
-    for i in 0..toks.len() {
-        if toks[i].tok != Tok::Ident("fn".into()) {
-            continue;
-        }
-        let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else { continue };
-        if !hot_fn(name) {
-            continue;
-        }
-        // Find the body: the first `{` after the signature.
-        let Some(open) = (i + 2..toks.len()).find(|&k| toks[k].tok == Tok::Punct("{")) else {
-            continue;
-        };
-        let mut depth = 0usize;
-        for k in open..toks.len() {
-            match toks[k].tok {
-                Tok::Punct("{") => depth += 1,
-                Tok::Punct("}") => {
-                    depth -= 1;
-                    if depth == 0 {
-                        hot.push((open, k));
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-
-    for &(a, b) in &hot {
-        for i in a..=b.min(toks.len() - 1) {
-            let Tok::Ident(name) = &toks[i].tok else { continue };
-            let hit = match name.as_str() {
-                "unwrap" | "expect" => {
-                    i > 0
-                        && toks[i - 1].tok == Tok::Punct(".")
-                        && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct("("))
-                }
-                "panic" | "unreachable" | "todo" | "unimplemented" => {
-                    toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct("!"))
-                }
-                _ => false,
-            };
-            if hit && !ctx.exempt(toks[i].line) {
-                ctx.emit(
-                    out,
-                    toks[i].line,
-                    Rule::R5,
-                    format!(
-                        "`{name}` in an enqueue/dequeue/rotate hot path; return an error or restructure so the invariant is type-guaranteed"
-                    ),
-                );
-            }
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------

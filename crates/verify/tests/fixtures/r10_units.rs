@@ -1,0 +1,45 @@
+// R10 fixture: cross-unit arithmetic and comparisons.
+// unit: budget=bytes
+
+fn mixed(deadline_ns: u64, window_bytes: u64, limit_pkts: u64) -> u64 {
+    let sum = deadline_ns + window_bytes; // hit: ns + bytes
+    let mut elapsed_ns = 0u64;
+    elapsed_ns += window_bytes; // hit: ns += bytes
+    if window_bytes < limit_pkts {
+        // ^ hit: bytes < pkts
+        return sum;
+    }
+    elapsed_ns
+}
+
+fn annotated(budget: u64, used_ns: u64) -> bool {
+    budget < used_ns // hit: `budget` is bytes by annotation, rhs is ns
+}
+
+fn fine(a_bytes: u64, b_bytes: u64, window_ns: u64, count: u64) -> u64 {
+    let total_bytes = a_bytes + b_bytes; // same unit: fine
+    let rate = total_bytes / window_ns; // division combines dimensions: fine
+    let padded = a_bytes + count; // `count` has no inferable unit: fine
+    let demo = a_bytes + window_ns; // det-ok: intentional mixed-unit demo
+    rate + padded + demo
+}
+
+struct Sample {
+    window_ns: u64,
+}
+
+fn chains(s: &Sample, floor_bytes: u64, cap_bytes: u64) -> bool {
+    let scaled = s.window_ns + floor_bytes; // hit: field-chain rhs carries its unit
+    let clamped = floor_bytes.max(1) + cap_bytes; // method-call lhs/rhs: fine
+    scaled > clamped
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mixing_in_tests_is_fine() {
+        let a_bytes = 1u64;
+        let b_ns = 2u64;
+        assert_eq!(a_bytes + b_ns, 3);
+    }
+}

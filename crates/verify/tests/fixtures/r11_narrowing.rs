@@ -1,0 +1,25 @@
+// R11 fixture: lossy narrowing casts in dataplane code.
+
+fn narrow(total: u64, rate: f64) -> u64 {
+    let a = total as u32; // hit
+    let b = rate as f32; // hit
+    let c = (total >> 3) as u16; // hit
+    a as u64 + b as u64 + c as u64
+}
+
+fn fine(total: u64, size: u32) -> u64 {
+    let w = 7 as u32; // literal cast: compile-time noise, fine
+    let x = total as usize; // not a narrowing target
+    let y = size as u64; // widening: fine
+    let z = total as u32; // det-ok: bounded by the MTU admission check
+    w as u64 + x as u64 + y + z as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn narrowing_in_tests_is_fine() {
+        let big = 300u64;
+        assert_eq!(big as u8, 44);
+    }
+}

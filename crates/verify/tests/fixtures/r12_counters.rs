@@ -1,0 +1,25 @@
+// R12 fixture: bare counter arithmetic in the hot-path reachable set.
+
+struct S {
+    tx_pkts: u64,
+    drop_bytes: u64,
+    queued_bytes: u64,
+    scratch: u64,
+}
+
+impl S {
+    fn enqueue(&mut self, n: u64) {
+        self.tx_pkts += 1; // hit: monotone counter in a hot entry
+        self.note(n);
+        self.queued_bytes += n; // det-ok: occupancy gauge, drained in dequeue
+    }
+
+    fn note(&mut self, n: u64) {
+        self.drop_bytes += n; // hit: monotone counter one call below enqueue
+        self.scratch += n; // no counter suffix: fine
+    }
+
+    fn cold(&mut self) {
+        self.tx_pkts += 1; // not reachable from a hot entry: fine
+    }
+}

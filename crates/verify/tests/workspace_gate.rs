@@ -1,18 +1,21 @@
-//! The tier-1 gate: run the full determinism pass over the real
-//! workspace as part of `cargo test`. Any unwaived violation anywhere in
-//! the repo fails this test, so the rules hold by construction on every
-//! green build.
+//! The tier-1 gate: run the full determinism & dataplane-safety pass
+//! (rules R1-R12) over the real workspace as part of `cargo test`. Any
+//! unwaived violation anywhere in the repo fails this test, so the rules
+//! hold by construction on every green build. Uses the incremental cache
+//! under `<root>/target/`; findings are byte-identical to a cold run
+//! (pinned by `tests/analysis.rs`).
 
-use cebinae_verify::{check_workspace, Config};
+use cebinae_verify::{check_workspace_cached, Config};
 
 #[test]
 fn workspace_has_no_determinism_violations() {
     let cfg = Config::new(cebinae_verify::workspace_root());
-    let violations = check_workspace(&cfg).expect("workspace walk failed");
+    let (violations, _stats) =
+        check_workspace_cached(&cfg, None).expect("workspace walk failed");
     if !violations.is_empty() {
         let listing: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
         panic!(
-            "cebinae-verify found {} violation(s):\n{}\n\n\
+            "cebinae-verify found {} violation(s) (rules R1-R12):\n{}\n\n\
              Fix the code, or waive a line with `// det-ok: <reason>` if the\n\
              behavior is genuinely deterministic.",
             violations.len(),
