@@ -8,9 +8,12 @@
 //! medians are also written to `BENCH_micro.json` so CI can archive the
 //! numbers alongside `BENCH_experiments.json`.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
+
+use cebinae_ds::DetMap;
 
 use cebinae::{CebinaeConfig, CebinaeQdisc, GroupLbf, HeavyHitterCache, RoundClock};
 use cebinae_engine::{dumbbell, Discipline, DumbbellFlow, ScenarioParams, Simulation};
@@ -182,6 +185,62 @@ fn bench_cache(out: &mut Results) {
     });
 }
 
+/// The per-flow state tables behind every per-packet touch: DetMap (the
+/// dataplane's deterministic open-addressing table) against the BTreeMap
+/// it replaced, at the scale of the many-flow macro experiment. The ratio
+/// of these medians is what `cebinae-bench --check` gates at >= 2x.
+fn bench_flow_map(out: &mut Results) {
+    const KEYS: u64 = 4096;
+    let keys: Vec<u64> = (0..KEYS).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+    let mut det: DetMap<u64, u64> = keys.iter().map(|&k| (k, k ^ 1)).collect();
+    let mut btree: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k ^ 1)).collect();
+
+    bench(out, "flow_map_get_4k/detmap", 3, 25, || {
+        let mut acc = 0u64;
+        for k in &keys {
+            acc ^= *det.get(k).unwrap();
+        }
+        black_box(acc);
+    });
+    bench(out, "flow_map_get_4k/btreemap", 3, 25, || {
+        let mut acc = 0u64;
+        for k in &keys {
+            acc ^= *btree.get(k).unwrap();
+        }
+        black_box(acc);
+    });
+    bench(out, "flow_map_insert_remove_4k/detmap", 3, 25, || {
+        for &k in &keys {
+            let v = det.remove(&k).unwrap();
+            det.insert(k, v);
+        }
+        black_box(det.len());
+    });
+    bench(out, "flow_map_insert_remove_4k/btreemap", 3, 25, || {
+        for &k in &keys {
+            let v = btree.remove(&k).unwrap();
+            btree.insert(k, v);
+        }
+        black_box(btree.len());
+    });
+    // The cold-path tax: materializing the key-ordered view DetMap only
+    // builds on demand, against the order BTreeMap maintains for free.
+    bench(out, "flow_map_sorted_view_4k/detmap", 3, 25, || {
+        let mut acc = 0u64;
+        for (k, v) in det.sorted_iter() {
+            acc ^= k ^ v;
+        }
+        black_box(acc);
+    });
+    bench(out, "flow_map_sorted_view_4k/btreemap", 3, 25, || {
+        let mut acc = 0u64;
+        for (k, v) in btree.iter() {
+            acc ^= k ^ v;
+        }
+        black_box(acc);
+    });
+}
+
 fn bench_water_filling(out: &mut Results) {
     let caps: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
     let flows: Vec<MaxMinFlow> = (0..100)
@@ -246,6 +305,7 @@ fn main() {
     bench_qdiscs(&mut results);
     bench_lbf(&mut results);
     bench_cache(&mut results);
+    bench_flow_map(&mut results);
     bench_water_filling(&mut results);
     bench_end_to_end(&mut results);
     bench_verify(&mut results);

@@ -26,7 +26,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cebinae_engine::{Discipline, DumbbellFlow};
+use cebinae_engine::{dumbbell, Discipline, DumbbellFlow, ScenarioParams, Simulation};
 use cebinae_harness::fig13;
 use cebinae_harness::runner::{Ctx, DumbbellRun};
 use cebinae_par::TrialPool;
@@ -195,6 +195,72 @@ fn bench_check_campaign(opts: &Opts, parallel_threads: usize) -> Outcome {
     }
 }
 
+/// Wall-clock budgets for the many-flow macro experiment (median ms).
+///
+/// Set to 0.85x the pre-change (BTreeMap flow tables) measurement on the
+/// reference CI shape, so `--check` enforces that the DetMap rewiring
+/// keeps its >= 15% wall-clock win and never regresses back toward the
+/// O(log n) baseline.
+/// Pre-change medians on the reference shape: smoke (2048 flows x 1 s)
+/// 2084 ms, full (4096 flows x 2 s) 5065 ms.
+const MANY_FLOW_BUDGET_MS_SMOKE: f64 = 0.85 * 2084.0;
+const MANY_FLOW_BUDGET_MS_FULL: f64 = 0.85 * 5065.0;
+
+/// The many-flow macro experiment: thousands of concurrent flows through
+/// one bottleneck running ideal FQ-CoDel (bucket = flow id), the shape
+/// where per-packet flow-table cost dominates — every enqueue/dequeue
+/// walks a flow table with >= 2k entries. Not an [`Outcome`]: a single
+/// simulation has no serial/parallel twin, so the gates are (a) repeated
+/// runs produce identical results and (b) the median wall-clock fits the
+/// budget pinned from the pre-change baseline.
+struct ManyFlowOutcome {
+    flows: usize,
+    wall_ms: f64,
+    events: u64,
+    identical: bool,
+    budget_ms: f64,
+}
+
+fn bench_many_flow(opts: &Opts) -> ManyFlowOutcome {
+    let (n_flows, rate_bps, secs, budget_ms) = if opts.smoke {
+        (2048usize, 400_000_000u64, 1u64, MANY_FLOW_BUDGET_MS_SMOKE)
+    } else {
+        (4096, 400_000_000, 2, MANY_FLOW_BUDGET_MS_FULL)
+    };
+    // Mixed RTTs so flows desynchronize and the table sees a realistic
+    // interleaving of hot and cold entries.
+    let flows: Vec<DumbbellFlow> = (0..n_flows)
+        .map(|i| {
+            let cc = if i % 2 == 0 { CcKind::NewReno } else { CcKind::Cubic };
+            DumbbellFlow::new(cc, 20 + (i % 8) as u64 * 10)
+        })
+        .collect();
+    let mut p = ScenarioParams::new(rate_bps, 1024, Discipline::FqCoDel);
+    p.duration = Duration::from_secs(secs);
+    let fingerprint = |r: &cebinae_engine::SimResult| {
+        let mut s = String::new();
+        for &d in &r.delivered {
+            let _ = write!(s, "{d},");
+        }
+        let _ = write!(s, "ev={}", r.events_processed);
+        s
+    };
+    let mut prints: Vec<String> = Vec::new();
+    let (wall_ms, result) = time_reps(opts.reps, || {
+        let (cfg, _) = dumbbell(&flows, &p);
+        let r = Simulation::new(cfg).run();
+        prints.push(fingerprint(&r));
+        r
+    });
+    ManyFlowOutcome {
+        flows: n_flows,
+        wall_ms,
+        events: result.events_processed,
+        identical: prints.windows(2).all(|w| w[0] == w[1]),
+        budget_ms,
+    }
+}
+
 /// Cost of the *disabled* telemetry guard on the event-loop hot path.
 ///
 /// Deliberately not an [`Outcome`]: the guarded loop is expected to be
@@ -248,6 +314,99 @@ fn bench_guard_overhead(opts: &Opts) -> GuardOutcome {
     }
 }
 
+/// DetMap vs BTreeMap on the flow-table op mix, measured in-process so
+/// `--check` can gate the O(1)-vs-O(log n) win without parsing
+/// `BENCH_micro.json`. The gate: at 4k keys, DetMap get and
+/// insert+remove are each >= 2x the BTreeMap rate. The sorted view is
+/// recorded but not gated — an on-demand sort is expected to trail
+/// in-order B-tree iteration, and it only runs on cold control-plane
+/// paths.
+struct FlowMapOutcome {
+    keys: usize,
+    get_speedup: f64,
+    insert_remove_speedup: f64,
+    sorted_view_speedup: f64,
+}
+
+fn bench_flow_map(opts: &Opts) -> FlowMapOutcome {
+    use cebinae_ds::DetMap;
+    use std::collections::BTreeMap;
+    use std::hint::black_box;
+    const KEYS: usize = 4096;
+    let samples = if opts.smoke { 20 } else { 40 };
+    // The key distribution the dataplane sees: dense arena ids, scattered
+    // by a multiplicative hash so B-tree locality is not artificially
+    // perfect.
+    let keys: Vec<u64> = (0..KEYS as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+
+    let mut det: DetMap<u64, u64> = DetMap::new();
+    let mut btree: BTreeMap<u64, u64> = BTreeMap::new();
+    for &k in &keys {
+        det.insert(k, k);
+        btree.insert(k, k);
+    }
+
+    fn timed(f: impl FnOnce()) -> f64 {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64() * 1e3
+    }
+
+    // Interleaved min-of-N so frequency scaling hits both variants alike
+    // (the telemetry-guard bench's sampling pattern).
+    let mut mins = [f64::MAX; 6];
+    for _ in 0..samples {
+        mins[0] = mins[0].min(timed(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(*det.get(&k).expect("key present"));
+            }
+            black_box(acc);
+        }));
+        mins[1] = mins[1].min(timed(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(*btree.get(&k).expect("key present"));
+            }
+            black_box(acc);
+        }));
+        mins[2] = mins[2].min(timed(|| {
+            for &k in &keys {
+                det.remove(&k);
+                det.insert(k, k);
+            }
+            black_box(det.len());
+        }));
+        mins[3] = mins[3].min(timed(|| {
+            for &k in &keys {
+                btree.remove(&k);
+                btree.insert(k, k);
+            }
+            black_box(btree.len());
+        }));
+        mins[4] = mins[4].min(timed(|| {
+            let mut acc = 0u64;
+            for (&k, _) in det.sorted_iter() {
+                acc = acc.wrapping_add(k);
+            }
+            black_box(acc);
+        }));
+        mins[5] = mins[5].min(timed(|| {
+            let mut acc = 0u64;
+            for (&k, _) in btree.iter() {
+                acc = acc.wrapping_add(k);
+            }
+            black_box(acc);
+        }));
+    }
+    FlowMapOutcome {
+        keys: KEYS,
+        get_speedup: mins[1] / mins[0],
+        insert_remove_speedup: mins[3] / mins[2],
+        sorted_view_speedup: mins[5] / mins[4],
+    }
+}
+
 /// Cold `cebinae-verify` pass over the workspace. Like the telemetry
 /// guard, this is not an [`Outcome`]: there is no serial/parallel twin —
 /// the gate is an absolute wall-clock budget (cold run < 2 s), so the
@@ -279,6 +438,8 @@ fn render_json(
     cores: usize,
     threads: usize,
     outcomes: &[Outcome],
+    many_flow: &ManyFlowOutcome,
+    flow_map: &FlowMapOutcome,
     guard: &GuardOutcome,
     verify: &VerifyOutcome,
 ) -> String {
@@ -311,6 +472,23 @@ fn render_json(
         let _ = writeln!(j, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });
     }
     let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"many_flow\": {{");
+    let _ = writeln!(j, "    \"flows\": {},", many_flow.flows);
+    let _ = writeln!(j, "    \"wall_ms\": {:.3},", many_flow.wall_ms);
+    let _ = writeln!(j, "    \"events\": {},", many_flow.events);
+    let _ = writeln!(j, "    \"identical\": {},", many_flow.identical);
+    if many_flow.budget_ms.is_finite() {
+        let _ = writeln!(j, "    \"budget_ms\": {:.3}", many_flow.budget_ms);
+    } else {
+        let _ = writeln!(j, "    \"budget_ms\": null");
+    }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"flow_map\": {{");
+    let _ = writeln!(j, "    \"keys\": {},", flow_map.keys);
+    let _ = writeln!(j, "    \"get_speedup\": {:.3},", flow_map.get_speedup);
+    let _ = writeln!(j, "    \"insert_remove_speedup\": {:.3},", flow_map.insert_remove_speedup);
+    let _ = writeln!(j, "    \"sorted_view_speedup\": {:.3}", flow_map.sorted_view_speedup);
+    let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"telemetry_guard\": {{");
     let _ = writeln!(j, "    \"baseline_ms\": {:.4},", guard.baseline_ms);
     let _ = writeln!(j, "    \"guarded_ms\": {:.4},", guard.guarded_ms);
@@ -341,14 +519,16 @@ fn main() {
 
     // Measure the guard before any run could flip the one-way enable.
     let guard = bench_guard_overhead(&opts);
+    let flow_map = bench_flow_map(&opts);
     let outcomes = vec![
         bench_fig13(&opts, &serial, &parallel),
         bench_dumbbell(&opts, &serial, &parallel),
         bench_check_campaign(&opts, threads),
     ];
+    let many_flow = bench_many_flow(&opts);
     let verify = bench_verify(&opts);
 
-    let json = render_json(&opts, cores, threads, &outcomes, &guard, &verify);
+    let json = render_json(&opts, cores, threads, &outcomes, &many_flow, &flow_map, &guard, &verify);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("cebinae-bench: cannot write {}: {e}", opts.out);
         std::process::exit(2);
@@ -371,6 +551,33 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+        if !many_flow.identical {
+            eprintln!(
+                "CHECK FAILED: many-flow experiment produced non-identical results across reps"
+            );
+            failed = true;
+        }
+        if many_flow.wall_ms > many_flow.budget_ms {
+            eprintln!(
+                "CHECK FAILED: many-flow ({} flows) took {:.0} ms > {:.0} ms budget (0.85x pre-DetMap baseline)",
+                many_flow.flows, many_flow.wall_ms, many_flow.budget_ms
+            );
+            failed = true;
+        }
+        if flow_map.get_speedup < 2.0 {
+            eprintln!(
+                "CHECK FAILED: DetMap get only {:.2}x BTreeMap at {} keys (need >= 2x)",
+                flow_map.get_speedup, flow_map.keys
+            );
+            failed = true;
+        }
+        if flow_map.insert_remove_speedup < 2.0 {
+            eprintln!(
+                "CHECK FAILED: DetMap insert+remove only {:.2}x BTreeMap at {} keys (need >= 2x)",
+                flow_map.insert_remove_speedup, flow_map.keys
+            );
+            failed = true;
         }
         if guard.overhead() > 0.03 {
             eprintln!(

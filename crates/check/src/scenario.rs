@@ -8,8 +8,6 @@
 //! run) never perturbs the draws of another — the property that makes the
 //! deterministic minimizer in [`crate::shrink`] meaningful.
 
-use std::collections::BTreeMap;
-
 use cebinae::CebinaeConfig;
 use cebinae_engine::{
     dumbbell, parking_lot, Discipline, DumbbellFlow, ParkingLotGroup, QdiscSpec, ScenarioParams,
@@ -337,7 +335,7 @@ impl GenScenario {
         }
 
         let buffer = BufferConfig::mtus(self.buffer_mtus);
-        let mut qdiscs = BTreeMap::new();
+        let mut qdiscs = cebinae_ds::DetMap::new();
         for (link, rate) in [(link_a, rate_a), (link_b, rate_b)] {
             let spec = match disc {
                 Discipline::Fifo => QdiscSpec::Fifo { buffer },

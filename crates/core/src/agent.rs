@@ -2,8 +2,7 @@
 //! 8-28), expressed as a pure function so it can be tested independently of
 //! the data-plane state machine.
 
-use std::collections::BTreeMap;
-
+use cebinae_ds::DetMap;
 use cebinae_net::FlowId;
 use cebinae_sim::Duration;
 
@@ -21,7 +20,7 @@ pub struct RecomputeInput<'a> {
     pub window: Duration,
     /// Per-flow byte counts aggregated from the heavy-hitter cache polls
     /// during the window.
-    pub flow_bytes: &'a BTreeMap<FlowId, u64>,
+    pub flow_bytes: &'a DetMap<FlowId, u64>,
 }
 
 /// The CP's decision: saturation status, the bottlenecked (⊤) set, and the
@@ -72,14 +71,17 @@ pub fn recompute(cfg: &CebinaeConfig, input: &RecomputeInput<'_>) -> RecomputeDe
     let threshold = c_max as f64 * (1.0 - cfg.delta_f);
     let mut top: Vec<(FlowId, u64)> = Vec::new();
     let mut bottleneck_bytes = 0u64;
-    for (&f, &b) in input.flow_bytes {
+    // `sorted_iter` visits flows in FlowId order (the order the BTreeMap
+    // used to provide), so `top` and the downstream per-flow rate split
+    // are byte-identical to the pre-DetMap traces.
+    for (&f, &b) in input.flow_bytes.sorted_iter() {
         if b as f64 >= threshold {
             top.push((f, b));
             bottleneck_bytes = bottleneck_bytes.saturating_add(b);
         }
     }
-    // `flow_bytes` is a BTreeMap, so iteration (and hence `top`) is
-    // already FlowId-ordered; the sort documents and enforces the contract.
+    // Iteration above is FlowId-ordered; the sort documents and enforces
+    // the contract.
     top.sort();
     let top_flows: Vec<FlowId> = top.iter().map(|&(f, _)| f).collect();
     let top_flow_bytes: Vec<u64> = top.iter().map(|&(_, b)| b).collect();
@@ -112,7 +114,7 @@ mod tests {
         )
     }
 
-    fn flows(v: &[(u32, u64)]) -> BTreeMap<FlowId, u64> {
+    fn flows(v: &[(u32, u64)]) -> DetMap<FlowId, u64> {
         v.iter().map(|&(f, b)| (FlowId(f), b)).collect()
     }
 
@@ -233,7 +235,7 @@ mod tests {
     #[test]
     fn empty_cache_never_taxes() {
         let cfg = cfg();
-        let fb = BTreeMap::new();
+        let fb = DetMap::new();
         let d = recompute(
             &cfg,
             &RecomputeInput {

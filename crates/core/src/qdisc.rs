@@ -25,8 +25,9 @@
 //! groups, with the aggregate filter still tracked in the background so the
 //! next phase flip is atomic.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
+use cebinae_ds::{DetMap, DetSet};
 use cebinae_net::{DropReason, FlowId, Packet, Qdisc, QdiscStats};
 use cebinae_sim::Time;
 
@@ -79,10 +80,11 @@ pub struct CebinaeQdisc {
     total_grp: GroupLbf,
     top_grp: GroupLbf,
     bottom_grp: GroupLbf,
-    /// Per-flow ⊤ filters (extension mode, cfg.per_flow_top). Ordered maps
-    /// keep every control-plane sweep deterministic (verify rule R3).
-    top_flow_grps: BTreeMap<FlowId, GroupLbf>,
-    top_flows: BTreeSet<FlowId>,
+    /// Per-flow ⊤ filters (extension mode, cfg.per_flow_top). DetMap keeps
+    /// every control-plane sweep deterministic (verify rules R3/R13) while
+    /// making the per-packet membership test and filter lookup O(1).
+    top_flow_grps: DetMap<FlowId, GroupLbf>,
+    top_flows: DetSet<FlowId>,
     saturated: bool,
 
     cache: HeavyHitterCache,
@@ -90,8 +92,10 @@ pub struct CebinaeQdisc {
     port_tx_bytes: u64,
     /// CP's previous sample of `port_tx_bytes`.
     cp_last_port_tx: u64,
-    /// CP aggregation of cache polls over the current window.
-    cp_flow_bytes: BTreeMap<FlowId, u64>,
+    /// CP aggregation of cache polls over the current window. Accumulation
+    /// is per-key independent, so raw DetMap order is fine; the consumers
+    /// that need key order (recompute, the debug dump) sort on demand.
+    cp_flow_bytes: DetMap<FlowId, u64>,
 
     rotations: u64,
     next_phase: CtlPhase,
@@ -130,13 +134,13 @@ impl CebinaeQdisc {
             total_grp: GroupLbf::new(cap),
             top_grp: GroupLbf::new(cap),
             bottom_grp: GroupLbf::new(cap),
-            top_flow_grps: BTreeMap::new(),
-            top_flows: BTreeSet::new(),
+            top_flow_grps: DetMap::new(),
+            top_flows: DetSet::new(),
             saturated: false,
             cache,
             port_tx_bytes: 0,
             cp_last_port_tx: 0,
-            cp_flow_bytes: BTreeMap::new(),
+            cp_flow_bytes: DetMap::new(),
             // det-ok: read once at construction; recomputes use the cached flag
             debug: std::env::var_os("CEBINAE_DEBUG").is_some(),
             rotations: 0,
@@ -223,7 +227,7 @@ impl CebinaeQdisc {
         // Poll & reset the flow cache every dT (§4.2), aggregating into the
         // CP's window view.
         for (f, b) in self.cache.poll_and_reset() {
-            *self.cp_flow_bytes.entry(f).or_insert(0) += b;
+            *self.cp_flow_bytes.get_or_insert_with(f, || 0) += b;
         }
 
         // Every P-th rotation: recompute (Figure 4 lines 8-28).
@@ -371,7 +375,7 @@ impl CebinaeQdisc {
         for (f, b) in d.top_flows.iter().zip(&d.top_flow_bytes) {
             let share = *b as f64 / total_bytes.max(1) as f64;
             let rate = d.top_rate_bps * share;
-            self.top_flow_grps.entry(*f).or_insert_with(|| {
+            self.top_flow_grps.get_or_insert_with(*f, || {
                 let seed_bytes = if was_saturated { 0.0 } else { agg * rate / cap };
                 let mut g = GroupLbf::new(rate);
                 g.reset_for_phase(rate, seed_bytes);

@@ -1,0 +1,153 @@
+//! [`DetSet`]: a deterministic set, a thin wrapper over
+//! [`DetMap<K, ()>`](crate::DetMap) with the same contract: O(1)
+//! insert/remove/contains, deterministic (insertion-order, perturbed by
+//! removals) iteration, and an ascending-key [`DetSet::sorted_iter`] view
+//! for order-sensitive consumers.
+
+use std::fmt;
+
+use crate::map::{DetKey, DetMap};
+
+pub struct DetSet<K> {
+    inner: DetMap<K, ()>,
+}
+
+impl<K: DetKey> DetSet<K> {
+    pub fn new() -> DetSet<K> {
+        DetSet {
+            inner: DetMap::new(),
+        }
+    }
+
+    pub fn with_capacity(n: usize) -> DetSet<K> {
+        DetSet {
+            inner: DetMap::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Insert `key`; returns true if it was newly added (the
+    /// `std::collections` set convention).
+    #[inline]
+    pub fn insert(&mut self, key: K) -> bool {
+        self.inner.insert(key, ()).is_none()
+    }
+
+    /// Remove `key`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.inner.remove(key).is_some()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub fn retain(&mut self, mut f: impl FnMut(&K) -> bool) {
+        self.inner.retain(|k, _| f(k));
+    }
+
+    /// Deterministic but unsorted iteration (see [`crate::map`] docs).
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &K> + '_ {
+        self.inner.keys()
+    }
+
+    /// Ascending-key view — the `BTreeSet` iteration order.
+    pub fn sorted_iter(&self) -> impl Iterator<Item = &K> + '_ {
+        self.inner.sorted_iter().map(|(k, _)| k)
+    }
+}
+
+impl<K: DetKey> Default for DetSet<K> {
+    fn default() -> Self {
+        DetSet::new()
+    }
+}
+
+impl<K: DetKey + Clone> Clone for DetSet<K> {
+    fn clone(&self) -> Self {
+        DetSet {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<K: DetKey + fmt::Debug> fmt::Debug for DetSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.sorted_iter()).finish()
+    }
+}
+
+impl<K: DetKey> FromIterator<K> for DetSet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut s = DetSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl<K: DetKey> Extend<K> for DetSet<K> {
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        for k in iter {
+            self.insert(k);
+        }
+    }
+}
+
+impl<K: DetKey> PartialEq for DetSet<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|k| other.contains(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s: DetSet<u64> = DetSet::new();
+        assert!(s.insert(4));
+        assert!(!s.insert(4), "duplicate insert reports false");
+        assert!(s.contains(&4));
+        assert!(s.remove(&4));
+        assert!(!s.remove(&4));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sorted_iter_is_key_ascending() {
+        let s: DetSet<u32> = [9u32, 2, 5, 7].into_iter().collect();
+        let sorted: Vec<u32> = s.sorted_iter().copied().collect();
+        assert_eq!(sorted, vec![2, 5, 7, 9]);
+        let raw: Vec<u32> = s.iter().copied().collect();
+        assert_eq!(raw, vec![9, 2, 5, 7], "raw iter is insertion order");
+    }
+
+    #[test]
+    fn retain_and_clear() {
+        let mut s: DetSet<u64> = (0..20u64).collect();
+        s.retain(|&k| k % 2 == 0);
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(&8));
+        assert!(!s.contains(&9));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+    }
+}

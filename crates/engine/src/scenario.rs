@@ -2,8 +2,6 @@
 //! used throughout the paper's evaluation, parameterized by per-flow CCA,
 //! RTT and start time, bottleneck rate, buffer, and discipline under test.
 
-use std::collections::BTreeMap;
-
 use cebinae::CebinaeConfig;
 use cebinae_fq::{AfqConfig, FqCoDelConfig};
 use cebinae_net::{BufferConfig, LinkId, Topology};
@@ -206,7 +204,7 @@ pub fn dumbbell(flows: &[DumbbellFlow], p: &ScenarioParams) -> (SimConfig, LinkI
         });
     }
 
-    let mut qdiscs = BTreeMap::new();
+    let mut qdiscs = cebinae_ds::DetMap::new();
     qdiscs.insert(bneck_fwd, p.bottleneck_qdisc(max_rtt * 2));
     let mut cfg = SimConfig::new(topo, specs);
     cfg.qdiscs = qdiscs;
@@ -270,7 +268,7 @@ pub fn parking_lot(
             });
         }
     }
-    let mut qdiscs = BTreeMap::new();
+    let mut qdiscs = cebinae_ds::DetMap::new();
     for &l in &bnecks {
         qdiscs.insert(l, p.bottleneck_qdisc(max_rtt * 2));
     }

@@ -7,9 +7,8 @@
 //! serialization + propagation. Everything is arena-indexed and driven by
 //! one deterministic event queue.
 
-use std::collections::BTreeMap;
-
 use cebinae::{CebinaeConfig, CebinaeQdisc};
+use cebinae_ds::DetMap;
 use cebinae_fq::{AfqConfig, AfqQdisc, FqCoDelConfig, FqCoDelQdisc};
 use cebinae_metrics::GoodputSeries;
 use cebinae_net::{
@@ -66,7 +65,7 @@ pub struct SimConfig {
     pub topology: Topology,
     pub flows: Vec<FlowSpec>,
     /// Qdisc per link; links not present default to a large FIFO.
-    pub qdiscs: BTreeMap<LinkId, QdiscSpec>,
+    pub qdiscs: DetMap<LinkId, QdiscSpec>,
     /// Links whose state/throughput should be sampled (the bottlenecks).
     pub monitored_links: Vec<LinkId>,
     pub duration: Duration,
@@ -89,7 +88,7 @@ impl SimConfig {
         SimConfig {
             topology,
             flows,
-            qdiscs: BTreeMap::new(),
+            qdiscs: DetMap::new(),
             monitored_links: Vec::new(),
             duration: Duration::from_secs(10),
             sample_interval: Duration::from_millis(100),
@@ -283,7 +282,7 @@ pub struct Simulation {
     pace_cancels: u64,
     /// Last-seen sorted ⊤-flow sets per monitored-link index, for the
     /// membership-churn counter.
-    prev_top: BTreeMap<usize, Vec<FlowId>>,
+    prev_top: DetMap<usize, Vec<FlowId>>,
 }
 
 impl Simulation {
@@ -376,7 +375,7 @@ impl Simulation {
             last_event_ns: 0,
             rto_cancels: 0,
             pace_cancels: 0,
-            prev_top: BTreeMap::new(),
+            prev_top: DetMap::new(),
         };
 
         // Activate qdiscs and schedule their control events.
@@ -573,7 +572,7 @@ impl Simulation {
                 // the set seen at the previous sample.
                 let mut top: Vec<FlowId> = c.top_flows().collect();
                 top.sort_unstable();
-                let prev = self.prev_top.entry(idx).or_default();
+                let prev = self.prev_top.get_or_insert_with(idx, Vec::new);
                 let changed = top.iter().filter(|f| !prev.contains(f)).count()
                     + prev.iter().filter(|f| !top.contains(f)).count();
                 tel.add(scope, "ceb_top_churn", changed as u64);

@@ -9,10 +9,11 @@
 //! exact per-flow counters, which is *generous* to AFQ) both as an extra
 //! baseline and to quantify Equation 1 in the scalability bench.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
+use cebinae_ds::FlowSlab;
 use cebinae_sim::Time;
-use cebinae_net::{DropReason, FlowId, Packet, Qdisc, QdiscStats};
+use cebinae_net::{DropReason, Packet, Qdisc, QdiscStats};
 
 /// Configuration for [`AfqQdisc`].
 #[derive(Clone, Copy, Debug)]
@@ -45,8 +46,11 @@ pub struct AfqQdisc {
     /// Current service round.
     round: u64,
     /// Per-flow cumulative byte counters (idealized exact table; the
-    /// hardware version uses a count-min sketch).
-    flow_bytes: BTreeMap<FlowId, u64>,
+    /// hardware version uses a count-min sketch). Flow ids are dense arena
+    /// indices, so a slab-backed Vec makes the per-packet counter update a
+    /// direct load/store — no tree walk, no hashing.
+    flow_slots: FlowSlab,
+    flow_bytes: Vec<u64>,
     total_bytes: u64,
     stats: QdiscStats,
 }
@@ -59,7 +63,8 @@ impl AfqQdisc {
             queues: (0..cfg.n_queues).map(|_| VecDeque::new()).collect(),
             queue_bytes: vec![0; cfg.n_queues],
             round: 0,
-            flow_bytes: BTreeMap::new(),
+            flow_slots: FlowSlab::new(),
+            flow_bytes: Vec::new(),
             total_bytes: 0,
             stats: QdiscStats::default(),
             cfg,
@@ -81,7 +86,11 @@ impl Qdisc for AfqQdisc {
             self.stats.on_drop(pkt.size);
             return Err((pkt, DropReason::BufferFull));
         }
-        let counter = self.flow_bytes.entry(pkt.flow).or_insert(0);
+        let slot = self.flow_slots.slot_of(pkt.flow.0) as usize;
+        if slot == self.flow_bytes.len() {
+            self.flow_bytes.push(0);
+        }
+        let counter = &mut self.flow_bytes[slot]; // det-ok: slot < len — FlowSlab hands out dense slots, and a fresh tail slot was just pushed
         // A flow restarting after idling shouldn't be scheduled in the past.
         let floor = self.round * self.cfg.bpr;
         if *counter < floor {
@@ -150,7 +159,7 @@ pub fn afq_min_bpr(buffer_req_bytes: u64, n_queues: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cebinae_net::MSS;
+    use cebinae_net::{FlowId, MSS};
 
     fn pkt(flow: u32, seq: u64) -> Packet {
         Packet::data(FlowId(flow), seq, MSS, false, Time::ZERO)

@@ -5,8 +5,9 @@
 //! same idealization (bucket = flow id) and allow a finite bucket count for
 //! realistic configurations.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
+use cebinae_ds::DetMap;
 use cebinae_sim::Time;
 use cebinae_net::{DropReason, Packet, Qdisc, QdiscStats};
 
@@ -63,7 +64,11 @@ struct FlowQueue {
 /// FQ-CoDel queueing discipline.
 pub struct FqCoDelQdisc {
     cfg: FqCoDelConfig,
-    flows: BTreeMap<u64, FlowQueue>,
+    /// Per-bucket queues; DetMap gives O(1) per-packet lookup with
+    /// deterministic layout. The only order-sensitive consumer
+    /// (`drop_from_fattest`) selects by a total-order key, so raw
+    /// insertion-order iteration is safe everywhere.
+    flows: DetMap<u64, FlowQueue>,
     new_list: VecDeque<u64>,
     old_list: VecDeque<u64>,
     total_bytes: u64,
@@ -74,7 +79,7 @@ impl FqCoDelQdisc {
     pub fn new(cfg: FqCoDelConfig) -> FqCoDelQdisc {
         FqCoDelQdisc {
             cfg,
-            flows: BTreeMap::new(),
+            flows: DetMap::new(),
             new_list: VecDeque::new(),
             old_list: VecDeque::new(),
             total_bytes: 0,
@@ -90,14 +95,16 @@ impl FqCoDelQdisc {
     }
 
     /// RFC 8290 overload behavior: drop from the head of the fattest queue.
-    /// `flows` is a BTreeMap, so byte-count ties break toward the highest
-    /// bucket id — deterministically, run to run.
+    /// The max key is the `(bytes, bucket)` pair: bucket ids are unique, so
+    /// byte-count ties break toward the highest bucket id — the same flow the
+    /// old ascending BTreeMap scan picked (last max wins) — without paying
+    /// for a sort on every overflow drop.
     fn drop_from_fattest(&mut self, now: Time) {
         let Some((&bucket, _)) = self
             .flows
             .iter()
             .filter(|(_, q)| !q.queue.is_empty())
-            .max_by_key(|(_, q)| q.bytes)
+            .max_by_key(|&(&b, q)| (q.bytes, b))
         else {
             return;
         };
@@ -155,7 +162,7 @@ impl Qdisc for FqCoDelQdisc {
         let size = pkt.size;
         let target = self.cfg.codel_target;
         let interval = self.cfg.codel_interval;
-        let q = self.flows.entry(bucket).or_insert_with(|| FlowQueue {
+        let q = self.flows.get_or_insert_with(bucket, || FlowQueue {
             queue: VecDeque::new(),
             bytes: 0,
             deficit: 0,

@@ -10,9 +10,10 @@
 //! a queue as soon as it drains (work-conserving across rounds), which
 //! admits deeper per-flow horizons for the same queue count.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use cebinae_net::{DropReason, FlowId, Packet, Qdisc, QdiscStats};
+use cebinae_ds::FlowSlab;
+use cebinae_net::{DropReason, Packet, Qdisc, QdiscStats};
 use cebinae_sim::Time;
 
 /// Configuration for [`PcqQdisc`].
@@ -45,7 +46,10 @@ pub struct PcqQdisc {
     head: usize,
     /// Absolute round number of the head queue.
     round: u64,
-    flow_bytes: BTreeMap<FlowId, u64>,
+    /// Per-flow bid counters in a slab-backed dense Vec (flow ids are
+    /// arena indices): the per-packet update is a direct load/store.
+    flow_slots: FlowSlab,
+    flow_bytes: Vec<u64>,
     total_bytes: u64,
     stats: QdiscStats,
 }
@@ -58,7 +62,8 @@ impl PcqQdisc {
             ring_bytes: vec![0; cfg.n_queues],
             head: 0,
             round: 0,
-            flow_bytes: BTreeMap::new(),
+            flow_slots: FlowSlab::new(),
+            flow_bytes: Vec::new(),
             total_bytes: 0,
             stats: QdiscStats::default(),
             cfg,
@@ -87,7 +92,11 @@ impl Qdisc for PcqQdisc {
             self.stats.on_drop(pkt.size);
             return Err((pkt, DropReason::BufferFull));
         }
-        let counter = self.flow_bytes.entry(pkt.flow).or_insert(0);
+        let slot = self.flow_slots.slot_of(pkt.flow.0) as usize;
+        if slot == self.flow_bytes.len() {
+            self.flow_bytes.push(0);
+        }
+        let counter = &mut self.flow_bytes[slot]; // det-ok: slot < len — FlowSlab hands out dense slots, and a fresh tail slot was just pushed
         let floor = self.round * self.cfg.bpr;
         if *counter < floor {
             *counter = floor;
@@ -151,7 +160,7 @@ impl Qdisc for PcqQdisc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cebinae_net::MSS;
+    use cebinae_net::{FlowId, MSS};
 
     fn pkt(flow: u32, seq: u64) -> Packet {
         Packet::data(FlowId(flow), seq, MSS, false, Time::ZERO)

@@ -36,6 +36,13 @@ macro_rules! id_type {
                 $name(u32::try_from(i).expect("id overflow"))
             }
         }
+
+        impl cebinae_ds::DetKey for $name {
+            #[inline]
+            fn det_hash(&self) -> u64 {
+                cebinae_ds::fnv1a_u64(self.0 as u64)
+            }
+        }
     };
 }
 

@@ -48,12 +48,13 @@ mod proptests {
             for (i, &sz) in sizes.iter().enumerate() {
                 let payload = sz.saturating_sub(HEADER_BYTES).clamp(1, MSS);
                 let pkt = Packet::data(FlowId(0), i as u64, payload, false, Time::ZERO);
-                let accepted = q.enqueue(pkt.clone(), Time::ZERO).is_ok();
-                let model_accepts = model_bytes + pkt.size as u64 <= cap_bytes;
+                let size = pkt.size;
+                let accepted = q.enqueue(pkt, Time::ZERO).is_ok();
+                let model_accepts = model_bytes + size as u64 <= cap_bytes;
                 assert_eq!(accepted, model_accepts, "case {case}");
                 if model_accepts {
-                    model.push(pkt.size);
-                    model_bytes += pkt.size as u64;
+                    model.push(size);
+                    model_bytes += size as u64;
                 }
                 assert_eq!(q.byte_len(), model_bytes, "case {case}");
                 assert_eq!(q.pkt_len(), model.len(), "case {case}");

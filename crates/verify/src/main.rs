@@ -14,7 +14,7 @@
 use cebinae_verify::{check_workspace, check_workspace_cached, report, Config, Rule};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cebinae-verify [--root DIR] [--skip R1,..,R12,W0] \
+const USAGE: &str = "usage: cebinae-verify [--root DIR] [--skip R1,..,R13,W0] \
 [--format text|json] [--explain RULE] [--no-cache]";
 
 fn main() -> ExitCode {
@@ -85,7 +85,7 @@ fn main() -> ExitCode {
             }
             if violations.is_empty() {
                 if cfg.disabled.is_empty() {
-                    println!("cebinae-verify: workspace clean (rules R1-R12)");
+                    println!("cebinae-verify: workspace clean (rules R1-R13)");
                 } else {
                     let skipped: Vec<String> =
                         cfg.disabled.iter().map(|r| r.to_string()).collect();
@@ -194,6 +194,16 @@ fn explain(rule: Rule) -> String {
              occupancy gauges can waive with their conservation invariant.",
             "self.stats.tx_bytes += pkt.size as u64;",
             "self.stats.tx_bytes = self.stats.tx_bytes.saturating_add(pkt.size as u64);",
+        ),
+        Rule::R13 => (
+            "`std::collections::HashMap`/`HashSet` seed their layout from per-process \
+             entropy (`RandomState`), so any iteration — or a Debug dump added later — \
+             is a latent nondeterminism bug. R3 only catches the iteration; R13 bans \
+             the type itself in simulation/dataplane crates. `cebinae_ds::DetMap`/`DetSet` \
+             are drop-in: O(1) expected ops, fixed seeded hash, deterministic \
+             insertion-order iteration, and `sorted_iter()` where key order matters.",
+            "let mut flow_bytes: HashMap<FlowId, u64> = HashMap::new();",
+            "let mut flow_bytes: cebinae_ds::DetMap<FlowId, u64> = cebinae_ds::DetMap::new();",
         ),
         Rule::Waiver => (
             "`// det-ok:` waivers must say *why* the waived line is deterministic/safe; \

@@ -58,7 +58,7 @@ fn json_escape(s: &str) -> String {
 pub fn render_json(violations: &[Violation]) -> String {
     let mut j = String::from("{\n");
     let _ = writeln!(j, "  \"schema\": \"cebinae-verify-report-v1\",");
-    let _ = writeln!(j, "  \"rules\": \"R1-R12,W0\",");
+    let _ = writeln!(j, "  \"rules\": \"R1-R13,W0\",");
     let _ = writeln!(j, "  \"count\": {},", violations.len());
     let _ = writeln!(j, "  \"findings\": [");
     for (i, v) in violations.iter().enumerate() {

@@ -1,4 +1,4 @@
-//! The determinism & dataplane-safety rules (R1-R12).
+//! The determinism & dataplane-safety rules (R1-R13).
 //!
 //! Most rules are token-stream pattern matches over one file, scoped by
 //! the file's workspace-relative path and filtered by test regions and
@@ -57,6 +57,12 @@ pub enum Rule {
     /// `saturating_*`/`checked_*` or waive with the invariant that
     /// bounds the counter.
     R12,
+    /// No `std::collections::HashMap`/`HashSet` in simulation/dataplane
+    /// crate sources at all — not even without iteration. Their layout
+    /// depends on per-process `RandomState`, so any future `.iter()` (or a
+    /// Debug dump) silently becomes nondeterministic; `cebinae_ds::DetMap`/
+    /// `DetSet` give O(1) ops with a fixed seed and stable order.
+    R13,
     /// `// det-ok:` waivers must carry a reason.
     Waiver,
 }
@@ -76,6 +82,7 @@ impl fmt::Display for Rule {
             Rule::R10 => "R10",
             Rule::R11 => "R11",
             Rule::R12 => "R12",
+            Rule::R13 => "R13",
             Rule::Waiver => "W0",
         };
         f.write_str(s)
@@ -98,13 +105,14 @@ impl Rule {
             "R10" => Some(Rule::R10),
             "R11" => Some(Rule::R11),
             "R12" => Some(Rule::R12),
+            "R13" => Some(Rule::R13),
             "W0" => Some(Rule::Waiver),
             _ => None,
         }
     }
 
     /// Every rule id, in report order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 14] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -117,6 +125,7 @@ impl Rule {
         Rule::R10,
         Rule::R11,
         Rule::R12,
+        Rule::R13,
         Rule::Waiver,
     ];
 }
@@ -184,6 +193,13 @@ const R7_CRATES: [&str; 8] = [
 /// not print directly. `core` keeps its gated `CEBINAE_DEBUG` dump and the
 /// harness/bench report to stdout by design, so neither is listed.
 const R8_CRATES: [&str; 5] = ["sim", "net", "engine", "transport", "telemetry"];
+
+/// Crates where `std::collections::HashMap`/`HashSet` are banned outright
+/// (R13). R3 catches *iteration* over an unordered map; R13 forbids the
+/// type itself in simulation/dataplane sources, because a map whose layout
+/// is seeded from process entropy is a nondeterminism hazard even before
+/// anyone iterates it. Use `cebinae_ds::DetMap`/`DetSet` instead.
+const R13_CRATES: [&str; 6] = ["sim", "net", "engine", "transport", "fq", "core"];
 
 pub fn in_crate_src(path: &str, crates: &[&str]) -> bool {
     crates
@@ -336,6 +352,9 @@ pub fn run_rules(ctx: &FileCtx<'_>, enabled: &dyn Fn(Rule) -> bool, out: &mut Ve
     }
     if enabled(Rule::R11) {
         crate::units::r11_narrowing_casts(ctx, out);
+    }
+    if enabled(Rule::R13) {
+        r13_std_hash_types(ctx, out);
     }
 }
 
@@ -629,6 +648,34 @@ fn r9_mutation_in_oracle(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
                 Rule::R9,
                 format!(
                     "mutating call `.{name}(..)` in an oracle module; oracles are read-only judges — move replica-driving into `cebinae-check::model`"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R13: std hash collections in simulation/dataplane crates
+// ---------------------------------------------------------------------------
+
+fn r13_std_hash_types(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !in_crate_src(ctx.path, &R13_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for t in toks.iter() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        if !ctx.exempt(t.line) {
+            let det = if name == "HashMap" { "DetMap" } else { "DetSet" };
+            ctx.emit(
+                out,
+                t.line,
+                Rule::R13,
+                format!(
+                    "`{name}` in a simulation/dataplane crate; its layout is seeded from process entropy — use `cebinae_ds::{det}` (O(1), fixed seed, deterministic order)"
                 ),
             );
         }

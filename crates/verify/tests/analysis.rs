@@ -248,7 +248,7 @@ fn json_report_has_stable_schema_and_escaping() {
     let hits = rule_hits("crates/net/src/planted.rs", PLANTED, Rule::R5);
     let j = render_json(&hits);
     assert!(j.contains("\"schema\": \"cebinae-verify-report-v1\""), "{j}");
-    assert!(j.contains("\"rules\": \"R1-R12,W0\""), "{j}");
+    assert!(j.contains("\"rules\": \"R1-R13,W0\""), "{j}");
     assert!(j.contains("\"count\": 1"), "{j}");
     assert!(j.contains("\"rule\": \"R5\""), "{j}");
     assert!(j.contains("\"trace\": [\"enqueue ("), "{j}");

@@ -14,6 +14,7 @@ const R6: &str = include_str!("fixtures/r6_float_equality.rs");
 const R7: &str = include_str!("fixtures/r7_threads.rs");
 const R8: &str = include_str!("fixtures/r8_prints.rs");
 const R9: &str = include_str!("fixtures/r9_oracle_mutation.rs");
+const R13: &str = include_str!("fixtures/r13_std_hash.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 
 fn rule_hits(path: &str, src: &str, rule: Rule) -> Vec<Violation> {
@@ -191,6 +192,31 @@ fn r9_scopes_to_oracle_modules_only() {
         "crates/engine/src/fixture.rs",
     ] {
         assert!(rule_hits(path, R9, Rule::R9).is_empty(), "{path}");
+    }
+}
+
+#[test]
+fn r13_flags_std_hash_types_in_sim_crates() {
+    // `use` + struct field + local HashSet::new(); the waived interop
+    // line, the lookup without a type mention, the DetMap/DetSet usage,
+    // and the test-region HashSet never count.
+    for path in ["crates/fq/src/fixture.rs", "crates/sim/src/fixture.rs"] {
+        let hits = rule_hits(path, R13, Rule::R13);
+        assert_eq!(hits.len(), 3, "{path}: {hits:?}");
+        assert!(hits.iter().any(|v| v.message.contains("DetMap")), "{hits:?}");
+        assert!(hits.iter().any(|v| v.message.contains("DetSet")), "{hits:?}");
+    }
+}
+
+#[test]
+fn r13_allows_tooling_and_check_crates() {
+    for path in [
+        "crates/harness/src/fixture.rs",
+        "crates/check/src/fixture.rs",
+        "crates/verify/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+    ] {
+        assert!(rule_hits(path, R13, Rule::R13).is_empty(), "{path}");
     }
 }
 

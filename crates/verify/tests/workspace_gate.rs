@@ -1,5 +1,5 @@
 //! The tier-1 gate: run the full determinism & dataplane-safety pass
-//! (rules R1-R12) over the real workspace as part of `cargo test`. Any
+//! (rules R1-R13) over the real workspace as part of `cargo test`. Any
 //! unwaived violation anywhere in the repo fails this test, so the rules
 //! hold by construction on every green build. Uses the incremental cache
 //! under `<root>/target/`; findings are byte-identical to a cold run
@@ -15,7 +15,7 @@ fn workspace_has_no_determinism_violations() {
     if !violations.is_empty() {
         let listing: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
         panic!(
-            "cebinae-verify found {} violation(s) (rules R1-R12):\n{}\n\n\
+            "cebinae-verify found {} violation(s) (rules R1-R13):\n{}\n\n\
              Fix the code, or waive a line with `// det-ok: <reason>` if the\n\
              behavior is genuinely deterministic.",
             violations.len(),
