@@ -20,7 +20,7 @@ use cebinae_engine::{dumbbell, Discipline, DumbbellFlow, ScenarioParams, Simulat
 use cebinae_fq::{AfqConfig, AfqQdisc, FqCoDelConfig, FqCoDelQdisc};
 use cebinae_metrics::{water_filling, MaxMinFlow};
 use cebinae_net::{BufferConfig, FifoQdisc, FlowId, Packet, Qdisc, MSS};
-use cebinae_sim::{Duration, EventQueue, Time};
+use cebinae_sim::{Duration, HeapScheduler, Scheduler, SchedulerKind, Time};
 use cebinae_transport::CcKind;
 
 /// Collected (name, median ns) pairs, dumped to `BENCH_micro.json`.
@@ -48,9 +48,9 @@ fn bench<F: FnMut()>(out: &mut Results, name: &str, warmup: u32, samples: u32, m
 
 fn bench_event_queue(out: &mut Results) {
     bench(out, "event_queue_push_pop_1k", 3, 25, || {
-        let mut q = EventQueue::new();
+        let mut q = HeapScheduler::new();
         for i in 0..1000u64 {
-            q.schedule(Time(i * 37 % 1000), i);
+            q.post(Time(i * 37 % 1000), i);
         }
         let mut acc = 0u64;
         while let Some((_, e)) = q.pop() {
@@ -59,9 +59,9 @@ fn bench_event_queue(out: &mut Results) {
         black_box(acc);
     });
     bench(out, "event_queue_push_pop_10k", 3, 15, || {
-        let mut q = EventQueue::new();
+        let mut q = HeapScheduler::new();
         for i in 0..10_000u64 {
-            q.schedule(Time(i * 37 % 10_000), i);
+            q.post(Time(i * 37 % 10_000), i);
         }
         let mut acc = 0u64;
         while let Some((_, e)) = q.pop() {
@@ -73,9 +73,9 @@ fn bench_event_queue(out: &mut Results) {
     // what instrumentation costs when telemetry is off (gated < 3% by
     // `cebinae-bench --check`).
     bench(out, "event_queue_push_pop_10k_guarded", 3, 15, || {
-        let mut q = EventQueue::new();
+        let mut q = HeapScheduler::new();
         for i in 0..10_000u64 {
-            q.schedule(Time(i * 37 % 10_000), i);
+            q.post(Time(i * 37 % 10_000), i);
         }
         let mut acc = 0u64;
         while let Some((_, e)) = q.pop() {
@@ -86,12 +86,15 @@ fn bench_event_queue(out: &mut Results) {
         }
         black_box(acc);
     });
-    // The lazy-delete timer path: schedule 10k timers, cancel 80% of them
-    // (tombstones + periodic compaction), drain the survivors.
-    bench(out, "event_queue_cancel_80pct_10k", 3, 15, || {
-        let mut q = EventQueue::new();
+    // The cancellation-heavy timer path: schedule 10k timers, cancel 80%
+    // of them (tombstones + compaction on the heap, O(1) drops on the
+    // wheel), drain the survivors. The bare name is the heap — the
+    // pre-trait baseline — and `/wheel` is the same workload on the O(1)
+    // backend; `cebinae-bench --check` gates wheel >= 2x heap in-process.
+    let cancel_80pct = |kind: SchedulerKind| {
+        let mut q = kind.build();
         let ids: Vec<_> = (0..10_000u64)
-            .map(|i| q.schedule_timer(Time(i * 37 % 10_000), i))
+            .map(|i| q.schedule(Time(i * 37 % 10_000), i))
             .collect();
         for (i, id) in ids.into_iter().enumerate() {
             if i % 5 != 0 {
@@ -103,21 +106,39 @@ fn bench_event_queue(out: &mut Results) {
             acc ^= e;
         }
         black_box(acc);
+    };
+    bench(out, "event_queue_cancel_80pct_10k", 3, 15, || {
+        cancel_80pct(SchedulerKind::Heap);
     });
-    // The retransmission-timer churn pattern: every "ACK" cancels the
-    // pending timer and re-arms an earlier one, then the queue drains.
-    bench(out, "event_queue_rearm_churn_1k", 3, 25, || {
-        let mut q = EventQueue::new();
-        let mut id = q.schedule_timer(Time(1_001_000), 0u64);
-        for i in 0..1000u64 {
-            q.cancel(id);
-            id = q.schedule_timer(Time(1_001_000 - i * 1000), i);
+    bench(out, "event_queue_cancel_80pct_10k/wheel", 3, 15, || {
+        cancel_80pct(SchedulerKind::Wheel);
+    });
+    // The retransmission-timer churn pattern: 1k concurrent flows each
+    // hold a pending RTO, and every "ACK" round pushes each flow's
+    // deadline later. The heap pays O(log n) per re-arm plus a tombstone
+    // per cancel that the final drain has to pop through; the wheel does
+    // O(1) bitmap ops for both.
+    let rearm_churn = |kind: SchedulerKind| {
+        let mut q = kind.build();
+        let mut ids: Vec<_> = (0..1000u64)
+            .map(|i| q.schedule(Time(1_000_000 + i * 100), i))
+            .collect();
+        for round in 1..=8u64 {
+            for (i, id) in ids.iter_mut().enumerate() {
+                *id = q.rearm(*id, Time(1_000_000 + round * 500_000 + i as u64 * 100), i as u64);
+            }
         }
         let mut acc = 0u64;
         while let Some((_, e)) = q.pop() {
             acc ^= e;
         }
         black_box(acc);
+    };
+    bench(out, "event_queue_rearm_churn_1k", 3, 25, || {
+        rearm_churn(SchedulerKind::Heap);
+    });
+    bench(out, "event_queue_rearm_churn_1k/wheel", 3, 25, || {
+        rearm_churn(SchedulerKind::Wheel);
     });
 }
 

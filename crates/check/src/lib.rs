@@ -33,13 +33,19 @@ use scenario::GenScenario;
 use shrink::Overrides;
 
 /// Run one scenario through the engine and every applicable oracle.
-/// Returns the per-seed violations plus the fairness measurement for
+/// Returns the per-seed violations, the fairness measurement for
 /// symmetric scenarios (judged at campaign level, see
-/// [`oracle::check_fairness_mean`]).
-pub fn check_scenario(sc: &GenScenario) -> (Vec<Violation>, Option<FairnessSample>) {
+/// [`oracle::check_fairness_mean`]), and the total simulator events
+/// processed across every run the check performed (the invariant run
+/// plus, on symmetric seeds, the fairness pair) — the work count the
+/// bench reports as events per second.
+pub fn check_scenario(
+    sc: &GenScenario,
+) -> (Vec<Violation>, Option<FairnessSample>, u64) {
     let (cfg, _bnecks) = sc.build();
     let end_ns = Duration::from_millis(sc.duration_ms).as_nanos();
     let res = Simulation::new(cfg).run();
+    let mut events = res.events_processed;
 
     let mut violations = Vec::new();
     if let Some(ndjson) = &res.telemetry {
@@ -59,17 +65,18 @@ pub fn check_scenario(sc: &GenScenario) -> (Vec<Violation>, Option<FairnessSampl
         let ceb = Simulation::new(cfg_ceb).run();
         let (cfg_fifo, _) = sc.build_fairness(Discipline::Fifo);
         let fifo = Simulation::new(cfg_fifo).run();
+        events += ceb.events_processed + fifo.events_processed;
         let sample = oracle::fairness_sample(sc, &ceb, &fifo);
         violations.extend(oracle::check_fairness_collapse(&sample));
         fairness = Some(sample);
     }
-    (violations, fairness)
+    (violations, fairness, events)
 }
 
 /// Check one seed with overrides (the replay path), shrinking on failure.
 pub fn check_seed(seed: u64, overrides: Overrides) -> SeedOutcome {
     let sc = overrides.realize(seed);
-    let (violations, fairness) = check_scenario(&sc);
+    let (violations, fairness, events) = check_scenario(&sc);
     let shrunk = if violations.is_empty() {
         None
     } else {
@@ -84,6 +91,7 @@ pub fn check_seed(seed: u64, overrides: Overrides) -> SeedOutcome {
         violations,
         shrunk,
         fairness,
+        events,
     }
 }
 

@@ -22,6 +22,11 @@ pub struct SeedOutcome {
     /// JFI measurement, when the scenario was symmetric. Judged at
     /// campaign level (mean over seeds), not per seed.
     pub fairness: Option<FairnessSample>,
+    /// Simulator events processed checking this seed (all runs summed).
+    /// Deliberately kept out of [`CampaignReport::render`] so report
+    /// bytes stay comparable across engine versions; the bench reads it
+    /// via [`CampaignReport::total_events`].
+    pub events: u64,
 }
 
 impl SeedOutcome {
@@ -59,6 +64,12 @@ impl CampaignReport {
 
     pub fn failures(&self) -> usize {
         self.outcomes.iter().filter(|o| !o.passed()).count()
+    }
+
+    /// Total simulator events processed across the campaign — the
+    /// denominator for the bench's events-per-second report.
+    pub fn total_events(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.events).sum()
     }
 
     /// FNV-1a over the rendered report: a short stable identity for bench
@@ -141,7 +152,16 @@ mod tests {
                 dur_ms: None,
             }),
             fairness: None,
+            events: 100,
         }
+    }
+
+    #[test]
+    fn total_events_sums_outcomes() {
+        let r = CampaignReport::new(0, vec![outcome(0, false), outcome(1, true)]);
+        assert_eq!(r.total_events(), 200);
+        // Events never appear in the rendered report.
+        assert!(!r.render().contains("200"), "{}", r.render());
     }
 
     #[test]

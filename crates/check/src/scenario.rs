@@ -15,7 +15,7 @@ use cebinae_engine::{
 };
 use cebinae_net::{BufferConfig, LinkId, Topology};
 use cebinae_sim::rng::DetRng;
-use cebinae_sim::{tx_time, Duration, Time};
+use cebinae_sim::{tx_time, Duration, SchedulerKind, Time};
 use cebinae_transport::{CcKind, TcpConfig};
 
 /// Topology families the fuzzer samples from.
@@ -73,6 +73,10 @@ pub struct GenScenario {
     /// All flows identical (CCA, RTT, start=0): the regime where the
     /// fairness oracle compares JFI across disciplines.
     pub symmetric: bool,
+    /// Event-loop scheduler backend. Not sampled — always the default —
+    /// but overridable so differential tests can replay the same scenario
+    /// under both backends and demand byte-identical outcomes.
+    pub scheduler: SchedulerKind,
 }
 
 impl GenScenario {
@@ -153,6 +157,7 @@ impl GenScenario {
             dt_extra,
             p,
             symmetric,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -204,6 +209,7 @@ impl GenScenario {
         p.sample_interval = Duration::from_millis(100);
         p.seed = self.seed;
         p.telemetry = true;
+        p.scheduler = self.scheduler;
         p.cebinae_thresholds = self.thresholds;
         if matches!(disc, Discipline::Cebinae | Discipline::CebinaePerFlowTop) {
             p.cebinae_override = Some(self.cebinae_config(self.bottleneck_bps));
@@ -223,6 +229,7 @@ impl GenScenario {
         p.duration = Duration::from_millis(self.duration_ms);
         p.sample_interval = Duration::from_millis(100);
         p.seed = self.seed;
+        p.scheduler = self.scheduler;
         let (cfg, b) = dumbbell(&self.dumbbell_flows(), &p);
         (cfg, vec![b])
     }
@@ -356,6 +363,7 @@ impl GenScenario {
         cfg.sample_interval = Duration::from_millis(100);
         cfg.seed = self.seed;
         cfg.telemetry = true;
+        cfg.scheduler = self.scheduler;
         (cfg, vec![link_a, link_b])
     }
 }

@@ -25,6 +25,7 @@
 //!   with the delete history (and the table state stays a function of the
 //!   *current* contents plus entry order, not of dead keys).
 
+use std::cell::{Cell, Ref, RefCell};
 use std::fmt;
 
 /// Key trait for [`DetMap`]/[`crate::DetSet`]: equality, a total order
@@ -92,6 +93,18 @@ pub struct DetMap<K, V> {
     index: Vec<u32>,
     /// `index.len() - 1` (valid only when `index` is allocated).
     mask: usize,
+    /// Cached ascending-key permutation of `entries` indices, rebuilt
+    /// lazily by [`DetMap::sorted_iter`] when `sorted_dirty` is set.
+    /// Interior mutability keeps the sorted view a `&self` operation;
+    /// the cost is that `DetMap` is `!Sync` — shared-reference readers
+    /// must live on one thread (the trial pools only ever *move* maps
+    /// into jobs, which stays legal: the map is still `Send`).
+    sorted_cache: RefCell<Vec<u32>>,
+    /// Set by every operation that can change the key set or the dense
+    /// indices (insert of a new key, remove, retain, clear). Pure value
+    /// updates — `insert` over an existing key, `get_mut` — leave the
+    /// permutation valid and deliberately do not touch it.
+    sorted_dirty: Cell<bool>,
 }
 
 impl<K: DetKey, V> DetMap<K, V> {
@@ -100,6 +113,8 @@ impl<K: DetKey, V> DetMap<K, V> {
             entries: Vec::new(),
             index: Vec::new(),
             mask: 0,
+            sorted_cache: RefCell::new(Vec::new()),
+            sorted_dirty: Cell::new(true),
         }
     }
 
@@ -170,6 +185,7 @@ impl<K: DetKey, V> DetMap<K, V> {
             if e == EMPTY {
                 self.index[pos] = self.entries.len() as u32; // det-ok: pos masked; entry count < u32::MAX by the id-space contract
                 self.entries.push((key, value));
+                self.sorted_dirty.set(true);
                 return None;
             }
             // det-ok: bucket entries hold live indices (table invariant)
@@ -191,6 +207,7 @@ impl<K: DetKey, V> DetMap<K, V> {
                 let new = self.entries.len() as u32;
                 self.index[pos] = new; // det-ok: pos masked
                 self.entries.push((key, make()));
+                self.sorted_dirty.set(true);
                 break new;
             }
             // det-ok: bucket entries hold live indices (table invariant)
@@ -206,6 +223,7 @@ impl<K: DetKey, V> DetMap<K, V> {
     /// of the probe chain plus a swap-remove of the dense entry.
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let (pos, e) = self.find(key)?;
+        self.sorted_dirty.set(true);
         self.backward_shift(pos);
         let e = e as usize;
         let (_, value) = self.entries.swap_remove(e);
@@ -254,6 +272,7 @@ impl<K: DetKey, V> DetMap<K, V> {
     /// Keep only entries for which `f` returns true, preserving the dense
     /// order of the survivors (unlike `remove`, which swaps). O(n).
     pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        self.sorted_dirty.set(true);
         self.entries.retain_mut(|(k, v)| f(k, v));
         if !self.index.is_empty() {
             let cap = self.index.len();
@@ -264,6 +283,7 @@ impl<K: DetKey, V> DetMap<K, V> {
     /// Drop all entries, keeping both allocations for hot reuse (the CP
     /// window accumulator clears every recompute).
     pub fn clear(&mut self) {
+        self.sorted_dirty.set(true);
         self.entries.clear();
         self.index.fill(EMPTY);
     }
@@ -296,17 +316,27 @@ impl<K: DetKey, V> DetMap<K, V> {
         self.entries.iter_mut().map(|(_, v)| v)
     }
 
-    /// Ascending-key view — the `BTreeMap` iteration order. O(n log n) on
-    /// demand; for the cold control-plane paths whose semantics depend on
-    /// key order.
-    pub fn sorted_iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
-        let mut order: Vec<u32> = (0..self.entries.len() as u32).collect();
-        // det-ok: order holds indices 0..entries.len()
-        order.sort_unstable_by(|&a, &b| self.entries[a as usize].0.cmp(&self.entries[b as usize].0));
-        order.into_iter().map(move |i| {
-            let (k, v) = &self.entries[i as usize]; // det-ok: indices 0..entries.len() by construction
-            (k, v)
-        })
+    /// Ascending-key view — the `BTreeMap` iteration order. The key
+    /// permutation is cached behind a dirty flag: the O(n log n) sort runs
+    /// only after an operation changed the key set (or the dense indices),
+    /// so repeated sorted walks over a stable key set — the control-plane
+    /// pattern — cost O(n) like the B-tree they replaced.
+    pub fn sorted_iter(&self) -> SortedIter<'_, K, V> {
+        if self.sorted_dirty.get() {
+            let mut order = self.sorted_cache.borrow_mut();
+            order.clear();
+            order.extend(0..self.entries.len() as u32);
+            // det-ok: order holds indices 0..entries.len()
+            order.sort_unstable_by(|&a, &b| {
+                self.entries[a as usize].0.cmp(&self.entries[b as usize].0)
+            });
+            self.sorted_dirty.set(false);
+        }
+        SortedIter {
+            map: self,
+            order: self.sorted_cache.borrow(),
+            i: 0,
+        }
     }
 
     /// [`DetMap::sorted_iter`], collected.
@@ -340,6 +370,36 @@ impl<K: DetKey, V> DetMap<K, V> {
     }
 }
 
+/// Ascending-key iterator over a [`DetMap`], borrowing the map's cached
+/// permutation. While one of these is alive the map is immutably borrowed,
+/// so the cache cannot be invalidated under it; a second concurrent
+/// `sorted_iter()` only takes another shared borrow and is fine.
+pub struct SortedIter<'a, K, V> {
+    map: &'a DetMap<K, V>,
+    order: Ref<'a, Vec<u32>>,
+    i: usize,
+}
+
+impl<'a, K: DetKey, V> Iterator for SortedIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &idx = self.order.get(self.i)?;
+        self.i += 1;
+        // det-ok: the cache holds a permutation of 0..entries.len(), and no
+        // mutation can happen while this iterator borrows the map
+        let (k, v) = &self.map.entries[idx as usize];
+        Some((k, v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.order.len() - self.i;
+        (n, Some(n))
+    }
+}
+
+impl<K: DetKey, V> ExactSizeIterator for SortedIter<'_, K, V> {}
+
 /// Smallest power-of-two bucket count keeping `n` entries under 3/4 load.
 #[inline]
 fn buckets_for(n: usize) -> usize {
@@ -362,6 +422,10 @@ impl<K: DetKey + Clone, V: Clone> Clone for DetMap<K, V> {
             entries: self.entries.clone(),
             index: self.index.clone(),
             mask: self.mask,
+            // The clone re-derives its own permutation on first use; a
+            // cache is an acceleration, never part of the map's value.
+            sorted_cache: RefCell::new(Vec::new()),
+            sorted_dirty: Cell::new(true),
         }
     }
 }
@@ -521,6 +585,55 @@ mod tests {
         *m.get_or_insert_with(3, || 0) += 10;
         *m.get_or_insert_with(3, || 0) += 10;
         assert_eq!(m.get(&3), Some(&20));
+    }
+
+    #[test]
+    fn sorted_cache_tracks_every_key_set_mutation() {
+        let mut m: DetMap<u64, u64> = DetMap::new();
+        for k in [9u64, 2, 5, 7] {
+            m.insert(k, k);
+        }
+        let sorted = |m: &DetMap<u64, u64>| -> Vec<u64> {
+            m.sorted_iter().map(|(&k, _)| k).collect()
+        };
+        assert_eq!(sorted(&m), vec![2, 5, 7, 9]);
+        // Warm cache + value-only update: order unchanged, still correct.
+        m.insert(5, 500);
+        assert_eq!(sorted(&m), vec![2, 5, 7, 9]);
+        assert_eq!(m.get(&5), Some(&500));
+        // Remove swaps dense indices; the cached permutation must refresh.
+        m.remove(&2);
+        assert_eq!(sorted(&m), vec![5, 7, 9]);
+        m.insert(1, 1);
+        assert_eq!(sorted(&m), vec![1, 5, 7, 9]);
+        *m.get_or_insert_with(3, || 30) += 1;
+        assert_eq!(sorted(&m), vec![1, 3, 5, 7, 9]);
+        m.retain(|&k, _| k >= 5);
+        assert_eq!(sorted(&m), vec![5, 7, 9]);
+        m.clear();
+        assert_eq!(sorted(&m), Vec::<u64>::new());
+        // A clone never shares (or trusts) the original's cache.
+        let mut a: DetMap<u64, u64> = DetMap::new();
+        a.insert(4, 4);
+        assert_eq!(sorted(&a), vec![4]);
+        let mut b = a.clone();
+        b.insert(3, 3);
+        assert_eq!(sorted(&b), vec![3, 4]);
+        assert_eq!(sorted(&a), vec![4]);
+    }
+
+    #[test]
+    fn sorted_iter_is_exact_size_and_reentrant() {
+        let mut m: DetMap<u64, u64> = DetMap::new();
+        for k in 0..10u64 {
+            m.insert(k * 3 % 10, k);
+        }
+        let it = m.sorted_iter();
+        assert_eq!(it.len(), 10);
+        // Two live sorted views at once: both read the shared cache.
+        let a: Vec<u64> = m.sorted_iter().map(|(&k, _)| k).collect();
+        let b: Vec<u64> = it.map(|(&k, _)| k).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use cebinae::CebinaeConfig;
 use cebinae_fq::{AfqConfig, FqCoDelConfig};
 use cebinae_net::{BufferConfig, LinkId, Topology};
-use cebinae_sim::{Duration, Time};
+use cebinae_sim::{Duration, SchedulerKind, Time};
 use cebinae_transport::{CcKind, TcpConfig};
 
 use crate::world::{FlowSpec, QdiscSpec, SimConfig};
@@ -59,6 +59,8 @@ pub struct ScenarioParams {
     pub seed: u64,
     /// Collect deterministic telemetry into [`SimResult::telemetry`](crate::SimResult).
     pub telemetry: bool,
+    /// Scheduler backend for the event loop (run-identical either way).
+    pub scheduler: SchedulerKind,
 }
 
 impl ScenarioParams {
@@ -74,6 +76,7 @@ impl ScenarioParams {
             sample_interval: Duration::from_millis(100),
             seed: 1,
             telemetry: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -213,6 +216,7 @@ pub fn dumbbell(flows: &[DumbbellFlow], p: &ScenarioParams) -> (SimConfig, LinkI
     cfg.sample_interval = p.sample_interval;
     cfg.seed = p.seed;
     cfg.telemetry = p.telemetry;
+    cfg.scheduler = p.scheduler;
     (cfg, bneck_fwd)
 }
 
@@ -279,6 +283,7 @@ pub fn parking_lot(
     cfg.sample_interval = p.sample_interval;
     cfg.seed = p.seed;
     cfg.telemetry = p.telemetry;
+    cfg.scheduler = p.scheduler;
     (cfg, bnecks)
 }
 

@@ -5,7 +5,8 @@
 //! pluggable CCAs; switch egress ports run a queueing discipline (FIFO,
 //! FQ-CoDel, AFQ, or Cebinae) attached traffic-control style; links model
 //! serialization + propagation. Everything is arena-indexed and driven by
-//! one deterministic event queue.
+//! one deterministic [`Scheduler`] (backend chosen via
+//! [`SimConfig::scheduler`]; the timing wheel by default).
 
 use cebinae::{CebinaeConfig, CebinaeQdisc};
 use cebinae_ds::DetMap;
@@ -16,7 +17,7 @@ use cebinae_net::{
     QdiscStats, TraceEvent, TraceRecord, Topology,
 };
 use cebinae_sim::rng::DetRng;
-use cebinae_sim::{tx_time, Duration, EventQueue, Time, TimerId};
+use cebinae_sim::{tx_time, Duration, Scheduler, SchedulerKind, Time, TimerId};
 use cebinae_telemetry::{Registry, Scope};
 use cebinae_transport::{TcpConfig, TcpOutput, TcpReceiver, TcpSender, TimerAction};
 
@@ -81,6 +82,10 @@ pub struct SimConfig {
     /// Collect deterministic telemetry (counters/gauges/histograms/spans,
     /// sampled on virtual-time boundaries) into `SimResult::telemetry`.
     pub telemetry: bool,
+    /// Which [`Scheduler`] backend drives the event loop. Either backend
+    /// produces the byte-identical run; the wheel is the default because
+    /// its cancel/rearm path is O(1).
+    pub scheduler: SchedulerKind,
 }
 
 impl SimConfig {
@@ -97,6 +102,7 @@ impl SimConfig {
             traced_links: Vec::new(),
             trace_capacity: 100_000,
             telemetry: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -139,12 +145,12 @@ struct FlowRt {
     completed_at: Option<Time>,
     /// Current RTO deadline; events that fire early re-arm themselves.
     rto_deadline: Option<Time>,
-    /// Pending RTO event: (scheduled instant, queue handle). Deadlines that
-    /// move *later* leave the event in place and re-arm on fire (cheap ACK
-    /// path); earlier deadlines and cancellations remove it from the heap
-    /// lazily via [`EventQueue::cancel`].
+    /// Pending RTO event: (scheduled instant, scheduler handle). Deadlines
+    /// that move *later* leave the event in place and re-arm on fire (cheap
+    /// ACK path); earlier deadlines and cancellations go through
+    /// [`Scheduler::rearm`] / [`Scheduler::cancel`].
     rto_timer: Option<(Time, TimerId)>,
-    /// Pending pace event: (pace deadline, queue handle).
+    /// Pending pace event: (pace deadline, scheduler handle).
     pace_timer: Option<(Time, TimerId)>,
 }
 
@@ -254,7 +260,7 @@ impl SimResult {
 pub struct Simulation {
     links: Vec<LinkRt>,
     flows: Vec<FlowRt>,
-    events: EventQueue<Ev>,
+    events: Box<dyn Scheduler<Ev> + Send>,
     cfg_duration: Duration,
     sample_interval: Duration,
     fault_drop: f64,
@@ -299,6 +305,7 @@ impl Simulation {
             traced_links,
             trace_capacity,
             telemetry,
+            scheduler,
         } = cfg;
         if telemetry {
             cebinae_telemetry::set_enabled(true);
@@ -321,7 +328,7 @@ impl Simulation {
             })
             .collect();
 
-        let mut events = EventQueue::new();
+        let mut events = scheduler.build();
         let mut flow_rts = Vec::with_capacity(flows.len());
         for (i, f) in flows.iter().enumerate() {
             let id = FlowId::from(i);
@@ -332,7 +339,7 @@ impl Simulation {
                 .shortest_path(f.dst, f.src)
                 .unwrap_or_else(|| panic!("no path {} -> {}", f.dst, f.src));
             assert!(!fwd.is_empty(), "src and dst must differ");
-            events.schedule(f.start, Ev::FlowStart { flow: id });
+            events.post(f.start, Ev::FlowStart { flow: id });
             flow_rts.push(FlowRt {
                 sender: TcpSender::new(id, f.tcp.clone()),
                 receiver: TcpReceiver::new(id),
@@ -381,10 +388,10 @@ impl Simulation {
         // Activate qdiscs and schedule their control events.
         for i in 0..sim.links.len() {
             if let Some(t) = sim.links[i].qdisc.activate(Time::ZERO) {
-                sim.events.schedule(t, Ev::QdiscControl { link: LinkId::from(i) });
+                sim.events.post(t, Ev::QdiscControl { link: LinkId::from(i) });
             }
         }
-        sim.events.schedule(Time::ZERO, Ev::Sample);
+        sim.events.post(Time::ZERO, Ev::Sample);
         sim
     }
 
@@ -457,7 +464,7 @@ impl Simulation {
             Ev::TxDone { link } => self.on_tx_done(now, link),
             Ev::QdiscControl { link } => {
                 if let Some(next) = self.links[link.index()].qdisc.control(now) {
-                    self.events.schedule(next, Ev::QdiscControl { link });
+                    self.events.post(next, Ev::QdiscControl { link });
                 }
                 // A control event may have made packets schedulable; kick
                 // the link if it idles with a backlog.
@@ -480,7 +487,7 @@ impl Simulation {
                 self.take_sample(now);
                 let next = now + self.sample_interval;
                 if next <= Time::ZERO + self.cfg_duration {
-                    self.events.schedule(next, Ev::Sample);
+                    self.events.post(next, Ev::Sample);
                 }
             }
         }
@@ -594,6 +601,19 @@ impl Simulation {
         tel.set_counter(eng, "events", self.events_processed);
         tel.set_counter(eng, "rto_timer_cancels", self.rto_cancels);
         tel.set_counter(eng, "pace_timer_cancels", self.pace_cancels);
+        // Backend-invariant scheduler counters: pure functions of the
+        // schedule/cancel/pop history, so they must agree between the heap
+        // and the wheel (the differential tests rely on that).
+        tel.set_counter(eng, "sched_scheduled", self.events.scheduled_total());
+        tel.set_counter(eng, "sched_cancelled", self.events.cancelled_total());
+        tel.set(eng, "sched_live", self.events.len() as u64);
+        // Backend-*specific* diagnostics (lazy-discard timing, wheel
+        // cascades, physical occupancy) live under their own scope so the
+        // differential telemetry comparison can strip `sys:sched` lines.
+        let sched = Scope::Sys("sched");
+        tel.set_counter(sched, "discarded", self.events.discarded_total());
+        tel.set_counter(sched, "cascades", self.events.cascades_total());
+        tel.set(sched, "occupied", self.events.occupied() as u64);
         tel.sample(now.0);
         self.tel = Some(tel);
     }
@@ -650,8 +670,8 @@ impl Simulation {
         l.busy = true;
         let done = now + tx_time(pkt.size as u64, l.rate_bps);
         let arrive = done + l.delay;
-        self.events.schedule(done, Ev::TxDone { link });
-        self.events.schedule(arrive, Ev::Arrive { link, pkt });
+        self.events.post(done, Ev::TxDone { link });
+        self.events.post(arrive, Ev::Arrive { link, pkt });
     }
 
     fn on_tx_done(&mut self, now: Time, link: LinkId) {
@@ -714,20 +734,18 @@ impl Simulation {
             Some(TimerAction::Set(t)) => {
                 self.flows[flow.index()].rto_deadline = Some(t);
                 // Deadlines that move later are handled lazily at fire time
-                // (the common per-ACK case: zero heap operations). Only an
-                // *earlier* deadline replaces the scheduled event.
+                // (the common per-ACK case: zero scheduler operations). Only
+                // an *earlier* deadline replaces the scheduled event.
                 let timer = self.flows[flow.index()].rto_timer;
-                let reschedule = match timer {
-                    None => true,
+                let rearmed = match timer {
+                    None => Some(self.events.schedule(t, Ev::Rto { flow })),
                     Some((s, id)) if t < s => {
-                        self.events.cancel(id);
                         self.rto_cancels += 1;
-                        true
+                        Some(self.events.rearm(id, t, Ev::Rto { flow }))
                     }
-                    Some(_) => false,
+                    Some(_) => None,
                 };
-                if reschedule {
-                    let id = self.events.schedule_timer(t, Ev::Rto { flow });
+                if let Some(id) = rearmed {
                     self.flows[flow.index()].rto_timer = Some((t, id));
                 }
             }
@@ -743,17 +761,15 @@ impl Simulation {
         }
         if let Some(at) = out.pace_at {
             let timer = self.flows[flow.index()].pace_timer;
-            let reschedule = match timer {
-                None => true,
+            let rearmed = match timer {
+                None => Some(self.events.schedule(at.max(now), Ev::Pace { flow })),
                 Some((s, id)) if at < s => {
-                    self.events.cancel(id);
                     self.pace_cancels += 1;
-                    true
+                    Some(self.events.rearm(id, at.max(now), Ev::Pace { flow }))
                 }
-                Some(_) => false,
+                Some(_) => None,
             };
-            if reschedule {
-                let id = self.events.schedule_timer(at.max(now), Ev::Pace { flow });
+            if let Some(id) = rearmed {
                 self.flows[flow.index()].pace_timer = Some((at, id));
             }
         }
@@ -770,7 +786,7 @@ impl Simulation {
             }
             Some(d) => {
                 // Deadline moved later (ACKs arrived); re-arm lazily.
-                let id = self.events.schedule_timer(d, Ev::Rto { flow });
+                let id = self.events.schedule(d, Ev::Rto { flow });
                 self.flows[flow.index()].rto_timer = Some((d, id));
             }
             None => {}

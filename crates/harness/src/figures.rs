@@ -23,7 +23,8 @@ pub fn fig1(ctx: &Ctx) -> String {
         .buffer_mtus(buffer)
         .duration(duration)
         .seed(ctx.seed)
-        .telemetry(ctx.telemetry_enabled());
+        .telemetry(ctx.telemetry_enabled())
+        .scheduler(ctx.sched);
     let mut runs = ctx.pool().map(
         vec![Discipline::Fifo, Discipline::Cebinae],
         |_, d| run.clone().discipline(d).run(&flows),
@@ -79,7 +80,8 @@ pub fn fig7(ctx: &Ctx) -> String {
         .buffer_mtus(850)
         .duration(duration)
         .seed(ctx.seed)
-        .telemetry(ctx.telemetry_enabled());
+        .telemetry(ctx.telemetry_enabled())
+        .scheduler(ctx.sched);
     let mut runs = ctx.pool().map(
         vec![Discipline::Fifo, Discipline::Cebinae],
         |_, d| run.clone().discipline(d).run(&flows),
@@ -125,7 +127,8 @@ pub fn fig8(ctx: &Ctx, variant_b: bool) -> String {
         .buffer_mtus(buffer)
         .duration(duration)
         .seed(ctx.seed)
-        .telemetry(ctx.telemetry_enabled());
+        .telemetry(ctx.telemetry_enabled())
+        .scheduler(ctx.sched);
     let mut runs = ctx.pool().map(
         vec![Discipline::Fifo, Discipline::Cebinae],
         |_, d| run.clone().discipline(d).run(&flows),
@@ -189,7 +192,8 @@ pub fn fig9(ctx: &Ctx) -> String {
         .buffer_mtus(buffer_mtus)
         .duration(duration)
         .seed(ctx.seed)
-        .telemetry(ctx.telemetry_enabled());
+        .telemetry(ctx.telemetry_enabled())
+        .scheduler(ctx.sched);
     let results = ctx.pool().map(jobs, |_, (rtt2, d)| {
         let mut flows: Vec<_> = (0..4).map(|_| DumbbellFlow::new(CcKind::Cubic, 256)).collect();
         flows.extend((0..4).map(|_| DumbbellFlow::new(CcKind::Cubic, rtt2)));
@@ -223,7 +227,8 @@ pub fn fig10(ctx: &Ctx) -> String {
         .buffer_mtus(850)
         .duration(duration)
         .seed(ctx.seed)
-        .telemetry(ctx.telemetry_enabled());
+        .telemetry(ctx.telemetry_enabled())
+        .scheduler(ctx.sched);
     let runs = ctx.pool().map(Discipline::PAPER.to_vec(), |_, d| {
         run.clone().discipline(d).run(&flows)
     });
@@ -287,7 +292,8 @@ pub fn fig12(ctx: &Ctx) -> String {
         .buffer_mtus(buffer)
         .duration(duration)
         .seed(ctx.seed)
-        .telemetry(ctx.telemetry_enabled());
+        .telemetry(ctx.telemetry_enabled())
+        .scheduler(ctx.sched);
     let mut results = ctx.pool().map(specs, |_, spec| match spec {
         Spec::Reference(d) => base.clone().discipline(d).run(&flows),
         Spec::Threshold(pct) => {

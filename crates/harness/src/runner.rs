@@ -6,7 +6,7 @@ use cebinae_engine::{
 };
 use cebinae_metrics::jfi;
 use cebinae_par::TrialPool;
-use cebinae_sim::{Duration, Time};
+use cebinae_sim::{Duration, SchedulerKind, Time};
 
 /// Global experiment context: scaled (default) or full paper durations,
 /// trial-pool width, and the telemetry sink.
@@ -26,11 +26,15 @@ pub struct Ctx {
     /// NDJSON telemetry sink path (`CEBINAE_TELEMETRY` / `--telemetry`);
     /// `None` disables collection.
     pub telemetry: Option<String>,
+    /// Event-loop scheduler backend (`CEBINAE_SCHED=heap|wheel`). Every
+    /// experiment is byte-identical under either; the wheel is the default.
+    pub sched: SchedulerKind,
 }
 
 impl Ctx {
     /// Context from the environment: `CEBINAE_FULL`, `CEBINAE_THREADS`,
-    /// and `CEBINAE_TELEMETRY` (sink path).
+    /// `CEBINAE_TELEMETRY` (sink path), and `CEBINAE_SCHED` (`heap` /
+    /// `wheel`; unknown values fall back to the default backend).
     pub fn from_env() -> Ctx {
         Ctx {
             full: std::env::var_os("CEBINAE_FULL").is_some(),
@@ -38,6 +42,9 @@ impl Ctx {
             threads: cebinae_par::threads_from_env(),
             telemetry: std::env::var_os("CEBINAE_TELEMETRY")
                 .map(|v| v.to_string_lossy().into_owned()),
+            sched: std::env::var_os("CEBINAE_SCHED")
+                .and_then(|v| SchedulerKind::parse(&v.to_string_lossy()))
+                .unwrap_or_default(),
         }
     }
 
@@ -49,6 +56,7 @@ impl Ctx {
             seed,
             threads: 1,
             telemetry: None,
+            sched: SchedulerKind::default(),
         }
     }
 
@@ -70,6 +78,13 @@ impl Ctx {
     /// Route telemetry to `path` (`None` disables).
     pub fn with_telemetry(mut self, path: Option<String>) -> Ctx {
         self.telemetry = path;
+        self
+    }
+
+    /// Select the event-loop scheduler backend for every run this context
+    /// drives.
+    pub fn with_scheduler(mut self, sched: SchedulerKind) -> Ctx {
+        self.sched = sched;
         self
     }
 
@@ -120,12 +135,29 @@ impl Ctx {
     }
 }
 
-/// Builder for the standard single-bottleneck dumbbell run — the typed
-/// replacement for the former positional `run_dumbbell(flows, rate,
-/// buffer, discipline, duration, seed)` signature.
+/// Builder for the standard single-bottleneck dumbbell run.
 ///
-/// Defaults: 420-MTU buffer, FIFO, 10 s, seed 1, Cebinae recompute period
-/// pinned to P = 1 (the harness-wide convention).
+/// ```no_run
+/// use cebinae_harness::DumbbellRun;
+/// use cebinae_engine::{Discipline, DumbbellFlow};
+/// use cebinae_sim::{Duration, SchedulerKind};
+/// use cebinae_transport::CcKind;
+///
+/// let flows = vec![DumbbellFlow::new(CcKind::NewReno, 20); 2];
+/// let m = DumbbellRun::new(100_000_000)
+///     .buffer_mtus(420)
+///     .discipline(Discipline::Cebinae)
+///     .duration(Duration::from_secs(10))
+///     .seed(7)
+///     .scheduler(SchedulerKind::Wheel)
+///     .run(&flows);
+/// ```
+///
+/// Defaults: 420-MTU buffer, FIFO, 10 s, seed 1, the default [`Scheduler`]
+/// backend (timing wheel), Cebinae recompute period pinned to P = 1 (the
+/// harness-wide convention).
+///
+/// [`Scheduler`]: cebinae_sim::Scheduler
 #[derive(Clone, Debug)]
 pub struct DumbbellRun {
     params: ScenarioParams,
@@ -161,6 +193,12 @@ impl DumbbellRun {
     /// Collect deterministic telemetry into `RunMetrics::result.telemetry`.
     pub fn telemetry(mut self, on: bool) -> DumbbellRun {
         self.params.telemetry = on;
+        self
+    }
+
+    /// Select the event-loop scheduler backend (run-identical either way).
+    pub fn scheduler(mut self, sched: SchedulerKind) -> DumbbellRun {
+        self.params.scheduler = sched;
         self
     }
 
@@ -401,12 +439,15 @@ mod tests {
             .with_seed(9)
             .with_threads(3)
             .with_full(true)
-            .with_telemetry(Some("t.ndjson".into()));
+            .with_telemetry(Some("t.ndjson".into()))
+            .with_scheduler(SchedulerKind::Heap);
         assert_eq!(ctx.seed, 9);
         assert_eq!(ctx.threads, 3);
         assert!(ctx.full);
         assert!(ctx.telemetry_enabled());
+        assert_eq!(ctx.sched, SchedulerKind::Heap);
         assert!(!Ctx::serial(false, 0).telemetry_enabled());
+        assert_eq!(Ctx::serial(false, 0).sched, SchedulerKind::default());
     }
 
     #[test]

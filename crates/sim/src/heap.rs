@@ -1,4 +1,4 @@
-//! The deterministic event queue at the heart of the simulator.
+//! The binary-heap [`Scheduler`] backend — the reference implementation.
 //!
 //! Events are ordered by `(time, sequence)`, where the sequence number is a
 //! monotonically increasing insertion counter. Two events scheduled for the
@@ -10,18 +10,22 @@
 //!
 //! Timer-like events (TCP RTO, pacing) are scheduled far in the future and
 //! frequently obsoleted before they fire. Removing an arbitrary entry from a
-//! binary heap is O(n), so cancellation is **lazy**: [`EventQueue::cancel`]
+//! binary heap is O(n), so cancellation is **lazy**: [`Scheduler::cancel`]
 //! records the timer's id in a tombstone set and the entry is discarded the
-//! moment it surfaces at the heap top (during [`pop`](EventQueue::pop) or
-//! [`peek_time`](EventQueue::peek_time)) — no dispatch, no payload
+//! moment it surfaces at the heap top (during [`pop`](Scheduler::pop) or
+//! [`peek_time`](Scheduler::peek_time)) — no dispatch, no payload
 //! construction, no clock movement. When tombstones accumulate past half
 //! the heap, the heap is compacted in one O(n) sweep so cancelled far-future
 //! timers cannot pin memory. Live ordering, including FIFO tie-breaking, is
 //! unaffected.
+//!
+//! The wheel backend ([`crate::wheel`]) makes cancel/rearm O(1); this heap
+//! remains the oracle the wheel is differentially tested against.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
+use crate::sched::{Scheduler, TimerId, COMPACT_MIN_TOMBSTONES};
 use crate::time::Time;
 
 /// An event queue entry. `E` is the caller's event payload type.
@@ -54,19 +58,9 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// Handle to a scheduled event, for cancellation. Ids are unique for the
-/// lifetime of the queue (they are the insertion sequence numbers) and are
-/// never reused.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub struct TimerId(u64);
-
-/// Tombstone count below which compaction is never attempted; keeps tiny
-/// queues from churning.
-const COMPACT_MIN_TOMBSTONES: usize = 64;
-
 /// A priority queue of timestamped events with deterministic FIFO
 /// tie-breaking at equal timestamps and O(log n) lazy cancellation.
-pub struct EventQueue<E> {
+pub struct HeapScheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Time,
@@ -76,70 +70,21 @@ pub struct EventQueue<E> {
     discarded_total: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapScheduler<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapScheduler<E> {
     pub fn new() -> Self {
-        EventQueue {
+        HeapScheduler {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Time::ZERO,
             cancelled: BTreeSet::new(),
             cancelled_total: 0,
             discarded_total: 0,
-        }
-    }
-
-    /// The timestamp of the most recently popped event (the simulation
-    /// clock). `Time::ZERO` before any event has fired.
-    #[inline]
-    pub fn now(&self) -> Time {
-        self.now
-    }
-
-    /// Schedule `event` to fire at absolute time `at`.
-    ///
-    /// # Panics
-    /// In debug builds, panics if `at` is in the past — scheduling into the
-    /// past is always a logic error in a discrete-event simulation.
-    pub fn schedule(&mut self, at: Time, event: E) {
-        let _ = self.schedule_timer(at, event);
-    }
-
-    /// Schedule `event` at `at` and return a handle that can later be
-    /// passed to [`cancel`](EventQueue::cancel).
-    pub fn schedule_timer(&mut self, at: Time, event: E) -> TimerId {
-        debug_assert!(
-            at >= self.now,
-            "scheduled event in the past: at={at:?} now={:?}",
-            self.now
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        TimerId(seq)
-    }
-
-    /// Cancel a pending timer. The entry stays in the heap but is silently
-    /// discarded when it reaches the top (lazy delete); heavy tombstone
-    /// build-up triggers an O(n) compaction.
-    ///
-    /// Contract: `id` must refer to an event that has **not yet fired** —
-    /// callers track timer liveness (the simulator clears its handle when
-    /// the event is dispatched). Cancelling an already-fired id is a logic
-    /// error (it would poison `len`); cancelling the same still-pending id
-    /// twice is a no-op returning `false`.
-    pub fn cancel(&mut self, id: TimerId) -> bool {
-        if self.cancelled.insert(id.0) {
-            self.cancelled_total += 1;
-            self.maybe_compact();
-            true
-        } else {
-            false
         }
     }
 
@@ -155,11 +100,37 @@ impl<E> EventQueue<E> {
         self.discarded_total += cancelled.len() as u64;
         self.heap.retain(|e| !cancelled.contains(&e.seq));
     }
+}
 
-    /// Pop the earliest live event, advancing the clock to its timestamp.
-    /// Cancelled entries encountered on the way are discarded without
-    /// advancing the clock.
-    pub fn pop(&mut self) -> Option<(Time, E)> {
+impl<E> Scheduler<E> for HeapScheduler<E> {
+    #[inline]
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn schedule(&mut self, at: Time, event: E) -> TimerId {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        TimerId(seq)
+    }
+
+    fn cancel(&mut self, id: TimerId) -> bool {
+        if self.cancelled.insert(id.0) {
+            self.cancelled_total += 1;
+            self.maybe_compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
         loop {
             let entry = self.heap.pop()?;
             debug_assert!(entry.at >= self.now, "event queue went backwards");
@@ -172,9 +143,7 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Timestamp of the next live event without popping it. Takes `&mut`
-    /// because cancelled entries at the top are pruned on the way.
-    pub fn peek_time(&mut self) -> Option<Time> {
+    fn peek_time(&mut self) -> Option<Time> {
         loop {
             let head = self.heap.peek()?;
             if !self.cancelled.contains(&head.seq) {
@@ -187,34 +156,31 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Number of live (non-cancelled) pending events.
     #[inline]
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.heap.len() - self.cancelled.len()
     }
 
     #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Total number of events ever scheduled (diagnostic).
-    #[inline]
-    pub fn scheduled_total(&self) -> u64 {
+    fn scheduled_total(&self) -> u64 {
         self.next_seq
     }
 
-    /// Total number of cancellations requested (diagnostic).
     #[inline]
-    pub fn cancelled_total(&self) -> u64 {
+    fn cancelled_total(&self) -> u64 {
         self.cancelled_total
     }
 
-    /// Cancelled entries actually removed so far, lazily or by compaction
-    /// (diagnostic; the remainder still sit in the heap as tombstones).
     #[inline]
-    pub fn discarded_total(&self) -> u64 {
+    fn discarded_total(&self) -> u64 {
         self.discarded_total
+    }
+
+    /// The heap stores tombstones in place, so occupancy is the physical
+    /// heap length.
+    #[inline]
+    fn occupied(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -225,20 +191,20 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_millis(5), "c");
-        q.schedule(Time::from_millis(1), "a");
-        q.schedule(Time::from_millis(3), "b");
+        let mut q = HeapScheduler::new();
+        q.post(Time::from_millis(5), "c");
+        q.post(Time::from_millis(1), "a");
+        q.post(Time::from_millis(3), "b");
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, ["a", "b", "c"]);
     }
 
     #[test]
     fn equal_times_fire_in_insertion_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapScheduler::new();
         let t = Time::from_secs(1);
         for i in 0..100 {
-            q.schedule(t, i);
+            q.post(t, i);
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
@@ -246,9 +212,9 @@ mod tests {
 
     #[test]
     fn clock_advances_monotonically() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_secs(2), ());
-        q.schedule(Time::from_secs(1), ());
+        let mut q = HeapScheduler::new();
+        q.post(Time::from_secs(2), ());
+        q.post(Time::from_secs(1), ());
         assert_eq!(q.now(), Time::ZERO);
         q.pop();
         assert_eq!(q.now(), Time::from_secs(1));
@@ -260,13 +226,13 @@ mod tests {
 
     #[test]
     fn schedule_while_draining() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_secs(1), 1u32);
+        let mut q = HeapScheduler::new();
+        q.post(Time::from_secs(1), 1u32);
         let (t, e) = q.pop().unwrap();
         assert_eq!(e, 1);
         // Events scheduled at the current instant still fire.
-        q.schedule(t, 2);
-        q.schedule(t + Duration::from_secs(1), 3);
+        q.post(t, 2);
+        q.post(t + Duration::from_secs(1), 3);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
     }
@@ -275,18 +241,18 @@ mod tests {
     #[should_panic(expected = "scheduled event in the past")]
     #[cfg(debug_assertions)]
     fn past_scheduling_panics_in_debug() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_secs(2), ());
+        let mut q = HeapScheduler::new();
+        q.post(Time::from_secs(2), ());
         q.pop();
-        q.schedule(Time::from_secs(1), ());
+        q.post(Time::from_secs(1), ());
     }
 
     #[test]
     fn counters() {
-        let mut q = EventQueue::new();
+        let mut q = HeapScheduler::new();
         assert!(q.is_empty());
-        q.schedule(Time::from_secs(1), ());
-        q.schedule(Time::from_secs(1), ());
+        q.post(Time::from_secs(1), ());
+        q.post(Time::from_secs(1), ());
         assert_eq!(q.len(), 2);
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.peek_time(), Some(Time::from_secs(1)));
@@ -298,10 +264,10 @@ mod tests {
 
     #[test]
     fn cancelled_timers_never_fire() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_timer(Time::from_secs(1), "a");
-        let _b = q.schedule_timer(Time::from_secs(2), "b");
-        let c = q.schedule_timer(Time::from_secs(3), "c");
+        let mut q = HeapScheduler::new();
+        let a = q.schedule(Time::from_secs(1), "a");
+        let _b = q.schedule(Time::from_secs(2), "b");
+        let c = q.schedule(Time::from_secs(3), "c");
         assert!(q.cancel(a));
         assert!(q.cancel(c));
         assert_eq!(q.len(), 1);
@@ -313,9 +279,9 @@ mod tests {
 
     #[test]
     fn cancelled_head_does_not_advance_clock() {
-        let mut q = EventQueue::new();
-        let early = q.schedule_timer(Time::from_secs(1), 1u32);
-        q.schedule(Time::from_secs(5), 2u32);
+        let mut q = HeapScheduler::new();
+        let early = q.schedule(Time::from_secs(1), 1u32);
+        q.post(Time::from_secs(5), 2u32);
         q.cancel(early);
         // The cancelled 1 s entry is skipped without the clock visiting 1 s.
         let (t, e) = q.pop().unwrap();
@@ -325,9 +291,9 @@ mod tests {
 
     #[test]
     fn peek_time_skips_tombstones() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_timer(Time::from_secs(1), ());
-        q.schedule(Time::from_secs(2), ());
+        let mut q = HeapScheduler::new();
+        let a = q.schedule(Time::from_secs(1), ());
+        q.post(Time::from_secs(2), ());
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
         assert_eq!(q.pop().unwrap().0, Time::from_secs(2));
@@ -335,8 +301,8 @@ mod tests {
 
     #[test]
     fn double_cancel_is_a_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_timer(Time::from_secs(1), ());
+        let mut q = HeapScheduler::new();
+        let a = q.schedule(Time::from_secs(1), ());
         assert!(q.cancel(a));
         assert!(!q.cancel(a));
         assert_eq!(q.cancelled_total(), 1);
@@ -346,14 +312,13 @@ mod tests {
 
     #[test]
     fn rearm_pattern_preserves_order() {
-        // The simulator's RTO pattern: cancel the pending timer, schedule a
-        // new one at a different deadline, interleaved with data events.
-        let mut q = EventQueue::new();
-        let mut rto = q.schedule_timer(Time::from_millis(300), "rto");
+        // The simulator's RTO pattern: re-arm the pending timer at a new
+        // deadline, interleaved with data events.
+        let mut q = HeapScheduler::new();
+        let mut rto = q.schedule(Time::from_millis(300), "rto");
         for i in 0..10u64 {
-            q.schedule(Time::from_millis(10 * (i + 1)), "data");
-            q.cancel(rto);
-            rto = q.schedule_timer(Time::from_millis(300 + 10 * i), "rto");
+            q.post(Time::from_millis(10 * (i + 1)), "data");
+            rto = q.rearm(rto, Time::from_millis(300 + 10 * i), "rto");
         }
         let mut fired = Vec::new();
         while let Some((t, e)) = q.pop() {
@@ -366,11 +331,11 @@ mod tests {
 
     #[test]
     fn compaction_drops_far_future_tombstones() {
-        let mut q = EventQueue::new();
+        let mut q = HeapScheduler::new();
         let ids: Vec<_> = (0..200u64)
-            .map(|i| q.schedule_timer(Time::from_secs(1000 + i), i))
+            .map(|i| q.schedule(Time::from_secs(1000 + i), i))
             .collect();
-        q.schedule(Time::from_secs(1), u64::MAX);
+        q.post(Time::from_secs(1), u64::MAX);
         // Cancel enough for tombstones to outnumber live entries.
         for id in &ids[..150] {
             q.cancel(*id);
@@ -388,9 +353,9 @@ mod tests {
 
     #[test]
     fn len_accounts_for_tombstones() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_timer(Time::from_secs(1), ());
-        q.schedule(Time::from_secs(2), ());
+        let mut q = HeapScheduler::new();
+        let a = q.schedule(Time::from_secs(1), ());
+        q.post(Time::from_secs(2), ());
         assert_eq!(q.len(), 2);
         q.cancel(a);
         assert_eq!(q.len(), 1);

@@ -38,7 +38,15 @@
 //!   fq dataplane code;
 //! * **R12** — no bare `+=`/`-=` on monotone counters in the hot-path
 //!   reachable set; use `saturating_*`/`checked_*` or waive a gauge with
-//!   its conservation invariant.
+//!   its conservation invariant;
+//! * **R13** — no `std::collections::HashMap`/`HashSet` at all in
+//!   simulation/dataplane crate sources (R3 catches iteration; R13 bans
+//!   the entropy-seeded type itself) — use `cebinae_ds::DetMap`/`DetSet`;
+//! * **R14** — no concrete event-queue backend types (`EventQueue`,
+//!   `HeapScheduler`, `WheelScheduler`, `BinaryHeap`) in the engine/
+//!   transport/traffic crates: event-loop consumers name the
+//!   `cebinae_sim::Scheduler` trait so the heap and timing-wheel backends
+//!   stay swappable under identical call sites.
 //!
 //! A violation can be suppressed with a `// det-ok: <reason>` comment on
 //! the same line or the line above; the reason is mandatory.

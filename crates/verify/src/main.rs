@@ -14,7 +14,7 @@
 use cebinae_verify::{check_workspace, check_workspace_cached, report, Config, Rule};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cebinae-verify [--root DIR] [--skip R1,..,R13,W0] \
+const USAGE: &str = "usage: cebinae-verify [--root DIR] [--skip R1,..,R14,W0] \
 [--format text|json] [--explain RULE] [--no-cache]";
 
 fn main() -> ExitCode {
@@ -85,7 +85,7 @@ fn main() -> ExitCode {
             }
             if violations.is_empty() {
                 if cfg.disabled.is_empty() {
-                    println!("cebinae-verify: workspace clean (rules R1-R13)");
+                    println!("cebinae-verify: workspace clean (rules R1-R14)");
                 } else {
                     let skipped: Vec<String> =
                         cfg.disabled.iter().map(|r| r.to_string()).collect();
@@ -204,6 +204,15 @@ fn explain(rule: Rule) -> String {
              insertion-order iteration, and `sorted_iter()` where key order matters.",
             "let mut flow_bytes: HashMap<FlowId, u64> = HashMap::new();",
             "let mut flow_bytes: cebinae_ds::DetMap<FlowId, u64> = cebinae_ds::DetMap::new();",
+        ),
+        Rule::R14 => (
+            "Engine, transport and traffic code must talk to the event loop through the \
+             `cebinae_sim::Scheduler` trait, never a concrete backend type. The heap and \
+             the timing wheel are interchangeable by contract — differential tests swap \
+             them under identical call sites — and naming one backend in a consumer \
+             crate silently pins that crate to it.",
+            "fn drive(q: &mut HeapScheduler<Ev>) { .. }",
+            "fn drive(q: &mut dyn Scheduler<Ev>) { .. } // or fn drive<S: Scheduler<Ev>>(q: &mut S)",
         ),
         Rule::Waiver => (
             "`// det-ok:` waivers must say *why* the waived line is deterministic/safe; \

@@ -1,4 +1,4 @@
-//! The determinism & dataplane-safety rules (R1-R13).
+//! The determinism & dataplane-safety rules (R1-R14).
 //!
 //! Most rules are token-stream pattern matches over one file, scoped by
 //! the file's workspace-relative path and filtered by test regions and
@@ -63,6 +63,13 @@ pub enum Rule {
     /// Debug dump) silently becomes nondeterministic; `cebinae_ds::DetMap`/
     /// `DetSet` give O(1) ops with a fixed seed and stable order.
     R13,
+    /// Event-loop consumers must stay backend-agnostic: engine, transport
+    /// and traffic sources name the [`Scheduler`] trait, never a concrete
+    /// queue type (`EventQueue`, `HeapScheduler`, `WheelScheduler`,
+    /// `BinaryHeap`). Hard-wiring one backend would quietly defeat the
+    /// pluggable-scheduler contract and the heap-vs-wheel differential
+    /// tests that depend on swapping backends under identical callers.
+    R14,
     /// `// det-ok:` waivers must carry a reason.
     Waiver,
 }
@@ -83,6 +90,7 @@ impl fmt::Display for Rule {
             Rule::R11 => "R11",
             Rule::R12 => "R12",
             Rule::R13 => "R13",
+            Rule::R14 => "R14",
             Rule::Waiver => "W0",
         };
         f.write_str(s)
@@ -106,13 +114,14 @@ impl Rule {
             "R11" => Some(Rule::R11),
             "R12" => Some(Rule::R12),
             "R13" => Some(Rule::R13),
+            "R14" => Some(Rule::R14),
             "W0" => Some(Rule::Waiver),
             _ => None,
         }
     }
 
     /// Every rule id, in report order.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -126,6 +135,7 @@ impl Rule {
         Rule::R11,
         Rule::R12,
         Rule::R13,
+        Rule::R14,
         Rule::Waiver,
     ];
 }
@@ -200,6 +210,12 @@ const R8_CRATES: [&str; 5] = ["sim", "net", "engine", "transport", "telemetry"];
 /// is seeded from process entropy is a nondeterminism hazard even before
 /// anyone iterates it. Use `cebinae_ds::DetMap`/`DetSet` instead.
 const R13_CRATES: [&str; 6] = ["sim", "net", "engine", "transport", "fq", "core"];
+
+/// Event-loop consumer crates for R14: these schedule and cancel timers
+/// but must do so through the `Scheduler` trait, so that the backend can
+/// be swapped (heap vs timing wheel) under identical call sites. `sim`
+/// itself is exempt — it *defines* the backends.
+const R14_CRATES: [&str; 3] = ["engine", "transport", "traffic"];
 
 pub fn in_crate_src(path: &str, crates: &[&str]) -> bool {
     crates
@@ -355,6 +371,9 @@ pub fn run_rules(ctx: &FileCtx<'_>, enabled: &dyn Fn(Rule) -> bool, out: &mut Ve
     }
     if enabled(Rule::R13) {
         r13_std_hash_types(ctx, out);
+    }
+    if enabled(Rule::R14) {
+        r14_concrete_scheduler(ctx, out);
     }
 }
 
@@ -676,6 +695,36 @@ fn r13_std_hash_types(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
                 Rule::R13,
                 format!(
                     "`{name}` in a simulation/dataplane crate; its layout is seeded from process entropy — use `cebinae_ds::{det}` (O(1), fixed seed, deterministic order)"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R14: concrete scheduler backends in event-loop consumer crates
+// ---------------------------------------------------------------------------
+
+fn r14_concrete_scheduler(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !in_crate_src(ctx.path, &R14_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for t in toks.iter() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if !matches!(
+            name.as_str(),
+            "EventQueue" | "HeapScheduler" | "WheelScheduler" | "BinaryHeap"
+        ) {
+            continue;
+        }
+        if !ctx.exempt(t.line) {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::R14,
+                format!(
+                    "concrete event-queue type `{name}` in an event-loop consumer crate; name the `cebinae_sim::Scheduler` trait (or `SchedulerKind::build()`) so backends stay swappable"
                 ),
             );
         }

@@ -15,6 +15,7 @@ const R7: &str = include_str!("fixtures/r7_threads.rs");
 const R8: &str = include_str!("fixtures/r8_prints.rs");
 const R9: &str = include_str!("fixtures/r9_oracle_mutation.rs");
 const R13: &str = include_str!("fixtures/r13_std_hash.rs");
+const R14: &str = include_str!("fixtures/r14_concrete_scheduler.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 
 fn rule_hits(path: &str, src: &str, rule: Rule) -> Vec<Violation> {
@@ -217,6 +218,37 @@ fn r13_allows_tooling_and_check_crates() {
         "crates/bench/src/fixture.rs",
     ] {
         assert!(rule_hits(path, R13, Rule::R13).is_empty(), "{path}");
+    }
+}
+
+#[test]
+fn r14_flags_concrete_backends_in_consumer_crates() {
+    // The `use`, the struct field, and the BinaryHeap parameter; the
+    // waived diagnostic probe, comment mentions, trait-bound/dyn usage,
+    // `SchedulerKind::build()`, and the test region never count.
+    for path in [
+        "crates/engine/src/fixture.rs",
+        "crates/transport/src/fixture.rs",
+        "crates/traffic/src/fixture.rs",
+    ] {
+        let hits = rule_hits(path, R14, Rule::R14);
+        assert_eq!(hits.len(), 3, "{path}: {hits:?}");
+        assert!(hits.iter().any(|v| v.message.contains("HeapScheduler")), "{hits:?}");
+        assert!(hits.iter().any(|v| v.message.contains("WheelScheduler")), "{hits:?}");
+        assert!(hits.iter().any(|v| v.message.contains("BinaryHeap")), "{hits:?}");
+    }
+}
+
+#[test]
+fn r14_allows_sim_and_tooling_crates() {
+    // `sim` defines the backends; harness/bench/verify report on them.
+    for path in [
+        "crates/sim/src/fixture.rs",
+        "crates/harness/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+        "crates/verify/src/fixture.rs",
+    ] {
+        assert!(rule_hits(path, R14, Rule::R14).is_empty(), "{path}");
     }
 }
 
