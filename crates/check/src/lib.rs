@@ -24,6 +24,7 @@ pub mod scenario;
 pub mod shrink;
 
 use cebinae_engine::{Discipline, Simulation};
+use cebinae_faults::FaultFamily;
 use cebinae_par::TrialPool;
 use cebinae_sim::Duration;
 
@@ -51,8 +52,21 @@ pub fn check_scenario(
     if let Some(ndjson) = &res.telemetry {
         violations.extend(oracle::check_conservation(ndjson, end_ns));
     }
-    violations.extend(oracle::check_trace_replay(sc, &res));
+    let plan = sc.fault_plan();
+    if plan.control.is_empty() {
+        // Control-plane faults park/swallow the qdisc's rotations, which
+        // the replica's free-running round clock cannot model; every
+        // other fault family leaves the offered stream exact (injected
+        // drops are excluded from it), so replay still applies.
+        violations.extend(oracle::check_trace_replay(sc, &res));
+    }
     violations.extend(oracle::check_differential(sc));
+    if !plan.is_empty() {
+        if let Some(ndjson) = &res.telemetry {
+            violations.extend(oracle::check_fault_accounting(&res.trace, ndjson));
+        }
+        violations.extend(oracle::check_degradation(sc, &res));
+    }
 
     let mut fairness = None;
     if sc.symmetric {
@@ -82,8 +96,9 @@ pub fn check_seed(seed: u64, overrides: Overrides) -> SeedOutcome {
     } else {
         // Minimize while the scenario keeps failing *any* oracle. The
         // shrinker itself is deterministic, so the shrunk overrides are
-        // part of the reproducible outcome.
-        Some(shrink::shrink(seed, |cand| !check_scenario(cand).0.is_empty()))
+        // part of the reproducible outcome; the incoming overrides (the
+        // corpus entry or chaos fault family) are its fixed context.
+        Some(shrink::shrink(seed, overrides, |cand| !check_scenario(cand).0.is_empty()))
     };
     SeedOutcome {
         seed,
@@ -100,6 +115,25 @@ pub fn check_seed(seed: u64, overrides: Overrides) -> SeedOutcome {
 pub fn run_campaign(base_seed: u64, count: u64, pool: &TrialPool) -> CampaignReport {
     let seeds: Vec<u64> = (0..count).map(|i| base_seed.wrapping_add(i)).collect();
     let outcomes = pool.map(seeds, |_, seed| check_seed(seed, Overrides::default()));
+    CampaignReport::new(base_seed, outcomes)
+}
+
+/// Run a chaos campaign: `count` consecutive seeds, each checked under
+/// the seed-derived chaos plan of a fault family cycled deterministically
+/// from [`FaultFamily::ALL`]. Same report contract as [`run_campaign`]:
+/// outcomes in seed order, bytes independent of thread count.
+pub fn run_chaos_campaign(base_seed: u64, count: u64, pool: &TrialPool) -> CampaignReport {
+    let seeds: Vec<u64> = (0..count).map(|i| base_seed.wrapping_add(i)).collect();
+    let outcomes = pool.map(seeds, |_, seed| {
+        let fam = FaultFamily::ALL[(seed % FaultFamily::ALL.len() as u64) as usize];
+        check_seed(
+            seed,
+            Overrides {
+                faults: Some(fam),
+                ..Overrides::default()
+            },
+        )
+    });
     CampaignReport::new(base_seed, outcomes)
 }
 
@@ -147,7 +181,7 @@ mod tests {
 
     #[test]
     fn corpus_parses_seeds_comments_and_overrides() {
-        let text = "# regression corpus\n7\n12 flows=2 dur_ms=500 # shrunk\n\n  42 dur_ms=250\n";
+        let text = "# regression corpus\n7\n12 flows=2 dur_ms=500 # shrunk\n\n  42 dur_ms=250 faults=flap\n";
         let entries = parse_corpus(text).unwrap();
         assert_eq!(
             entries,
@@ -160,18 +194,40 @@ mod tests {
                     seed: 12,
                     overrides: Overrides {
                         flows: Some(2),
-                        dur_ms: Some(500)
+                        dur_ms: Some(500),
+                        faults: None,
                     }
                 },
                 CorpusEntry {
                     seed: 42,
                     overrides: Overrides {
                         flows: None,
-                        dur_ms: Some(250)
+                        dur_ms: Some(250),
+                        faults: Some(FaultFamily::Flap),
                     }
                 },
             ]
         );
+    }
+
+    #[test]
+    fn chaos_overrides_realize_into_armed_scenarios() {
+        // A chaos override must arm the scenario with a non-empty plan
+        // and surface the family in the description, while the same seed
+        // without the override stays clean (the inertness contract).
+        for seed in 0..FaultFamily::ALL.len() as u64 {
+            let fam = FaultFamily::ALL[(seed % FaultFamily::ALL.len() as u64) as usize];
+            let ov = Overrides {
+                faults: Some(fam),
+                ..Overrides::default()
+            };
+            let sc = ov.realize(seed);
+            assert!(!sc.fault_plan().is_empty(), "seed {seed} {fam}");
+            assert!(sc.describe().ends_with(&format!(" faults={fam}")), "{}", sc.describe());
+            let clean = Overrides::default().realize(seed);
+            assert!(clean.fault_plan().is_empty());
+            assert!(!clean.describe().contains("faults="));
+        }
     }
 
     #[test]

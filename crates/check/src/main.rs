@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cebinae-check --smoke --seeds 32 [--base-seed S] [--threads N]
-//! cebinae-check --replay SEED [--flows N] [--dur-ms M]
+//! cebinae-check --chaos --seeds 8 [--base-seed S] [--threads N]
+//! cebinae-check --replay SEED [--flows N] [--dur-ms M] [--faults FAMILY]
 //! cebinae-check --corpus PATH [--threads N]
 //! ```
 //!
@@ -11,20 +12,25 @@
 //! thread count, host, and wall clock.
 
 use cebinae_check::shrink::{replay_line, Overrides};
-use cebinae_check::{check_seed, parse_corpus, run_campaign, run_corpus};
+use cebinae_check::{check_seed, parse_corpus, run_campaign, run_chaos_campaign, run_corpus};
+use cebinae_faults::FaultFamily;
 use cebinae_par::TrialPool;
 
 const USAGE: &str = "usage: cebinae-check --smoke --seeds N [--base-seed S] [--threads N]
-       cebinae-check --replay SEED [--flows N] [--dur-ms M]
-       cebinae-check --corpus PATH [--threads N]";
+       cebinae-check --chaos --seeds N [--base-seed S] [--threads N]
+       cebinae-check --replay SEED [--flows N] [--dur-ms M] [--faults FAMILY]
+       cebinae-check --corpus PATH [--threads N]
+FAMILY: loss burst reorder dup corrupt flap stall mix";
 
 struct Args {
     smoke: bool,
+    chaos: bool,
     seeds: u64,
     base_seed: u64,
     replay: Option<u64>,
     flows: Option<usize>,
     dur_ms: Option<u64>,
+    faults: Option<FaultFamily>,
     corpus: Option<String>,
     threads: Option<usize>,
 }
@@ -32,11 +38,13 @@ struct Args {
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut a = Args {
         smoke: false,
+        chaos: false,
         seeds: 32,
         base_seed: 0,
         replay: None,
         flows: None,
         dur_ms: None,
+        faults: None,
         corpus: None,
         threads: None,
     };
@@ -49,6 +57,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match arg.as_str() {
             "--smoke" => a.smoke = true,
+            "--chaos" => a.chaos = true,
             "--seeds" => a.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
             "--base-seed" => {
                 a.base_seed = value("--base-seed")?
@@ -65,6 +74,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--dur-ms" => {
                 a.dur_ms =
                     Some(value("--dur-ms")?.parse().map_err(|e| format!("--dur-ms: {e}"))?);
+            }
+            "--faults" => {
+                let v = value("--faults")?;
+                a.faults = Some(
+                    FaultFamily::parse(&v).ok_or_else(|| format!("--faults: unknown family {v:?}"))?,
+                );
             }
             "--corpus" => a.corpus = Some(value("--corpus")?),
             "--threads" => {
@@ -95,6 +110,7 @@ fn main() {
         let overrides = Overrides {
             flows: args.flows,
             dur_ms: args.dur_ms,
+            faults: args.faults,
         };
         let outcome = check_seed(seed, overrides);
         println!("replaying {}", outcome.desc);
@@ -128,6 +144,13 @@ fn main() {
         };
         let report = run_corpus(&entries, &pool);
         print!("{}", report.render());
+        std::process::exit(if report.passed() { 0 } else { 1 });
+    }
+
+    if args.chaos {
+        let report = run_chaos_campaign(args.base_seed, args.seeds, &pool);
+        print!("{}", report.render());
+        println!("fingerprint: {:016x}", report.fingerprint());
         std::process::exit(if report.passed() { 0 } else { 1 });
     }
 

@@ -16,6 +16,13 @@
 //! 3. **Fairness sanity** — on saturated symmetric dumbbells, long-run
 //!    Jain's fairness index under Cebinae must not fall materially below
 //!    plain FIFO.
+//! 4. **Graceful degradation** — chaos scenarios (a non-empty
+//!    [`cebinae_faults::FaultPlan`]) additionally demand that injected
+//!    drops are accounted exactly between the packet trace and the
+//!    `sys:faults` telemetry scope, that no flow is starved outright by
+//!    bounded-intensity faults, and that once every scripted fault has
+//!    cleared each flow resumes forward progress (with post-fault JFI
+//!    clearing the collapse floor on symmetric scenarios).
 //!
 //! Everything here *reads* simulation output; all model state mutation
 //! lives in `crate::model`. Verify rule R9 enforces this split by banning
@@ -24,8 +31,10 @@
 use std::collections::BTreeMap;
 
 use cebinae_engine::{CebinaeSample, Discipline, SimResult};
+use cebinae_faults::FaultPlan;
 use cebinae_metrics::jfi;
-use cebinae_sim::Time;
+use cebinae_net::{DropReason, PacketTrace, TraceEvent};
+use cebinae_sim::{Duration, Time};
 
 use crate::model::{replay_cebinae, run_diff, DiffParams, Mutation};
 use crate::scenario::GenScenario;
@@ -347,6 +356,179 @@ pub fn check_fairness_mean(samples: &[FairnessSample]) -> Vec<Violation> {
     out
 }
 
+/// Shortest post-fault tail (run end minus the plan's quiesce instant)
+/// the recovery checks require: below ~3 sample intervals the rate
+/// series is too coarse to judge recovery at all.
+const MIN_RECOVERY_TAIL_NS: u64 = 300_000_000;
+
+/// Fault-accounting oracle: every fault-injected drop the engine wrote
+/// into the packet trace must be reflected, exactly, in the final
+/// `sys:faults` `injected_drop_pkts` telemetry counter. Valid under the
+/// chaos generator's contract — the plan targets the bottlenecks, which
+/// are exactly the traced links — and only when the trace is complete
+/// (nothing evicted), mirroring the trace-replay precondition.
+pub fn check_fault_accounting(trace: &PacketTrace, ndjson: &str) -> Vec<Violation> {
+    const ORACLE: &str = "fault-accounting";
+    if trace.truncated > 0 {
+        // Precondition unmet, not a failure: evicted records make the
+        // traced count a lower bound, so exact accounting is unjudgeable.
+        return Vec::new();
+    }
+    let traced_pkts = trace
+        .records()
+        .filter(|r| r.event == TraceEvent::Drop(DropReason::Injected))
+        .count() as u64;
+    // Counters are cumulative; the last row wins.
+    let mut reported_pkts = None;
+    for line in ndjson.lines() {
+        if field_str(line, "scope") == Some("sys:faults")
+            && field_str(line, "name") == Some("injected_drop_pkts")
+        {
+            reported_pkts = field_u64(line, "v");
+        }
+    }
+    let mut out = Vec::new();
+    match reported_pkts {
+        Some(reported_pkts) if reported_pkts != traced_pkts => out.push(Violation::new(
+            ORACLE,
+            format!(
+                "sys:faults injected_drop_pkts {reported_pkts} != {traced_pkts} injected drops in the trace"
+            ),
+        )),
+        None if traced_pkts > 0 => out.push(Violation::new(
+            ORACLE,
+            format!("{traced_pkts} injected drops traced but no sys:faults telemetry rows"),
+        )),
+        _ => {}
+    }
+    out
+}
+
+/// Graceful-degradation oracle over a chaos run. Faults may slow flows
+/// down arbitrarily while active — and on 1-2s runs a legitimately
+/// backed-off sender can stay silent past the end of the run (RTO
+/// doubles from 200ms up to 60s), so per-flow silence alone is not
+/// starvation; heavily contended clean runs show it too. What faults
+/// must never do: (a) wedge a flow outright — zero bytes delivered with
+/// nothing in flight and no RTO ever taken means the sender is not even
+/// waiting on a timer, which bounded-intensity faults cannot
+/// legitimately cause; (b) keep the whole link dark after every
+/// scripted fault has cleared (plus a recovery grace) — waiting out a
+/// timer can excuse one flow, not all of them at once — and any
+/// individual flow still silent must actually be waiting (outstanding
+/// data, whose armed RTO may legitimately overshoot a 1-2s run once
+/// fault-inflated RTT variance feeds the estimator, or RTO backoff on
+/// the books); (c) on symmetric scenarios whose plan carries no
+/// persistent background noise, collapse post-fault JFI below the
+/// floor.
+pub fn check_degradation(sc: &GenScenario, res: &SimResult) -> Vec<Violation> {
+    // A flow is "waiting" (excused from progress demands) when it took
+    // RTOs or still has data in flight — `arm_rto` keeps a timer armed
+    // whenever flight > 0, so such a sender will retry, just maybe past
+    // the end of the run. Unlimited-demand fuzzer flows that are neither
+    // have stopped trying altogether.
+    let waiting: Vec<bool> = res
+        .flow_debug
+        .iter()
+        .map(|f| f.rto_count > 0 || f.flight > 0)
+        .collect();
+    degradation_violations(
+        &sc.fault_plan(),
+        sc.symmetric,
+        Duration::from_millis(sc.duration_ms).as_nanos(),
+        &res.delivered,
+        &waiting,
+        &res.goodput.rates(),
+    )
+}
+
+/// The pure core of [`check_degradation`], split out so tests can feed
+/// synthetic rate series.
+fn degradation_violations(
+    plan: &FaultPlan,
+    symmetric: bool,
+    end_ns: u64,
+    delivered: &[u64],
+    waiting: &[bool],
+    rates: &[(Time, Vec<f64>)],
+) -> Vec<Violation> {
+    const ORACLE: &str = "degradation";
+    let mut out = Vec::new();
+    if plan.is_empty() {
+        return out;
+    }
+    // (a) Wedge detection: nothing delivered and not waiting on anything.
+    for (i, d) in delivered.iter().enumerate() {
+        if *d == 0 && !waiting.get(i).copied().unwrap_or(false) {
+            out.push(Violation::new(
+                ORACLE,
+                format!("flow {i} delivered 0 bytes with nothing in flight and no RTO: wedged"),
+            ));
+        }
+    }
+    // (b, c) Post-fault recovery: judged only when the scripted faults
+    // clear early enough to leave a meaningful tail. Plans that are pure
+    // background noise (no timeline, no stall windows) have no quiesce
+    // instant and are covered by (a) alone.
+    let Some(q_ns) = plan.quiesce_ns() else {
+        return out;
+    };
+    let tail_ns = end_ns.saturating_sub(q_ns);
+    if tail_ns < MIN_RECOVERY_TAIL_NS {
+        return out;
+    }
+    // Recovery (RTO expiry, slow-start regrowth) gets the first quarter
+    // of the tail as grace before progress is demanded.
+    let recover_from = Time(q_ns.saturating_add(tail_ns / 4));
+    let n = delivered.len();
+    let mut tail_rates = vec![0.0f64; n];
+    let mut tail_samples = 0u64;
+    for (t, rs) in rates {
+        if *t <= recover_from {
+            continue;
+        }
+        tail_samples += 1;
+        for (i, r) in rs.iter().enumerate().take(n) {
+            tail_rates[i] += r;
+        }
+    }
+    if tail_samples == 0 {
+        return out;
+    }
+    // The link as a whole must come back: all flows silent after the
+    // grace means the fault never actually cleared (e.g. a lost link-Up
+    // event) — waiting out timers can excuse one flow, not everyone.
+    if tail_rates.iter().all(|sum| *sum <= 0.0) {
+        out.push(Violation::new(
+            ORACLE,
+            format!("no flow made any progress after faults cleared at t={q_ns}"),
+        ));
+    } else {
+        for (i, sum) in tail_rates.iter().enumerate() {
+            if *sum <= 0.0 && !waiting.get(i).copied().unwrap_or(false) {
+                out.push(Violation::new(
+                    ORACLE,
+                    format!(
+                        "flow {i} made no progress after faults cleared at t={q_ns} and is not waiting on any timer"
+                    ),
+                ));
+            }
+        }
+    }
+    if symmetric && !plan.has_persistent_noise() {
+        let means: Vec<f64> =
+            tail_rates.iter().map(|s| s / tail_samples as f64).collect();
+        let j = jfi(&means);
+        if j < JFI_COLLAPSE_FLOOR {
+            out.push(Violation::new(
+                ORACLE,
+                format!("post-fault JFI {j:.4} below collapse floor {JFI_COLLAPSE_FLOOR}"),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,5 +605,238 @@ mod tests {
         s += &row(100, "port:0", "tx_pkts", "counter", 5);
         s += &row(100, "port:0", "tx_pkts", "counter", 5);
         assert_eq!(check_conservation(&s, 100), Vec::new());
+    }
+
+    use cebinae_faults::{FaultTarget, LinkEvent, LinkEventKind, LinkFaultSpec};
+    use cebinae_net::{FlowId, LinkId, TraceRecord};
+
+    /// A trace holding `injected` fault drops plus one ordinary enqueue.
+    fn trace_with_injected(injected: usize) -> PacketTrace {
+        let mut tr = PacketTrace::with_capacity(64);
+        let rec = |event| TraceRecord {
+            at: Time(1),
+            link: LinkId(0),
+            flow: FlowId(0),
+            seq: 0,
+            size: 1500,
+            is_ack: false,
+            is_retx: false,
+            event,
+        };
+        tr.push(rec(TraceEvent::Enqueue));
+        for _ in 0..injected {
+            tr.push(rec(TraceEvent::Drop(DropReason::Injected)));
+        }
+        tr
+    }
+
+    #[test]
+    fn fault_accounting_matches_trace_and_telemetry() {
+        let tr = trace_with_injected(3);
+        let mut s = row(100, "sys:faults", "injected_drop_pkts", "counter", 1);
+        s += &row(200, "sys:faults", "injected_drop_pkts", "counter", 3);
+        assert_eq!(check_fault_accounting(&tr, &s), Vec::new());
+    }
+
+    #[test]
+    fn fault_accounting_flags_undercounted_drops() {
+        let tr = trace_with_injected(3);
+        let s = row(200, "sys:faults", "injected_drop_pkts", "counter", 0);
+        let v = check_fault_accounting(&tr, &s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "fault-accounting");
+        assert!(v[0].detail.contains("0 != 3"), "{}", v[0].detail);
+
+        // Drops traced but the scope absent entirely: also a failure.
+        let v = check_fault_accounting(&tr, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("no sys:faults"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn fault_accounting_skips_truncated_traces() {
+        let mut tr = PacketTrace::with_capacity(0);
+        tr.push(TraceRecord {
+            at: Time(1),
+            link: LinkId(0),
+            flow: FlowId(0),
+            seq: 0,
+            size: 1500,
+            is_ack: false,
+            is_retx: false,
+            event: TraceEvent::Drop(DropReason::Injected),
+        });
+        assert!(tr.truncated > 0);
+        let s = row(200, "sys:faults", "injected_drop_pkts", "counter", 0);
+        assert_eq!(check_fault_accounting(&tr, &s), Vec::new());
+    }
+
+    /// A plan whose only fault is a scripted flap clearing at 400ms.
+    fn flap_plan() -> FaultPlan {
+        let mut p = FaultPlan::default();
+        p.links.push((
+            FaultTarget::Bottlenecks,
+            LinkFaultSpec {
+                timeline: vec![
+                    LinkEvent { at: Time(300_000_000), kind: LinkEventKind::Down },
+                    LinkEvent { at: Time(400_000_000), kind: LinkEventKind::Up },
+                ],
+                ..LinkFaultSpec::default()
+            },
+        ));
+        p
+    }
+
+    /// Per-100ms rate samples over a 1s run, constant per flow.
+    fn flat_rates(per_flow: &[f64]) -> Vec<(Time, Vec<f64>)> {
+        (1..=10u64)
+            .map(|k| (Time(k * 100_000_000), per_flow.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn degradation_is_silent_for_empty_plans() {
+        // Even a fully starved flow is not this oracle's business when no
+        // faults were injected (conservation/fairness judge clean runs).
+        let v = degradation_violations(
+            &FaultPlan::default(),
+            true,
+            1_000_000_000,
+            &[0, 0],
+            &[false, false],
+            &flat_rates(&[0.0, 0.0]),
+        );
+        assert_eq!(v, Vec::new());
+    }
+
+    #[test]
+    fn degradation_flags_a_wedged_flow() {
+        // Flow 1 moved nothing and never took an RTO: it is not waiting
+        // on any timer, so no fault intensity can excuse it.
+        let plan = FaultPlan::uniform_loss(0.01);
+        let v = degradation_violations(
+            &plan,
+            false,
+            1_000_000_000,
+            &[10_000, 0],
+            &[false, false],
+            &flat_rates(&[1e6, 0.0]),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "degradation");
+        assert!(v[0].detail.contains("flow 1 delivered 0 bytes"), "{}", v[0].detail);
+
+        // The same zero with RTO backoff on the books is legitimate
+        // starvation-by-contention, which clean runs exhibit too.
+        let v = degradation_violations(
+            &plan,
+            false,
+            1_000_000_000,
+            &[10_000, 0],
+            &[false, true],
+            &flat_rates(&[1e6, 0.0]),
+        );
+        assert_eq!(v, Vec::new());
+    }
+
+    #[test]
+    fn degradation_flags_missing_post_fault_recovery() {
+        // Flap clears at 400ms of a 1s run; flow 1 moved bytes early but
+        // never again after the grace deadline (550ms) — and took no RTO,
+        // so the backoff exemption does not apply.
+        let plan = flap_plan();
+        let rates: Vec<(Time, Vec<f64>)> = (1..=10u64)
+            .map(|k| {
+                let t = Time(k * 100_000_000);
+                let f1 = if k <= 3 { 1e6 } else { 0.0 };
+                (t, vec![1e6, f1])
+            })
+            .collect();
+        let v = degradation_violations(&plan, false, 1_000_000_000, &[9, 9], &[false, false], &rates);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("flow 1 made no progress"), "{}", v[0].detail);
+
+        // The same silent tail with RTO backoff on the books is excused:
+        // the sender is waiting out its timer, not wedged.
+        let v = degradation_violations(&plan, false, 1_000_000_000, &[9, 9], &[false, true], &rates);
+        assert_eq!(v, Vec::new());
+
+        // Same series judged with a healthy tail: green.
+        let v = degradation_violations(
+            &plan,
+            false,
+            1_000_000_000,
+            &[9, 9],
+            &[false, false],
+            &flat_rates(&[1e6, 1e5]),
+        );
+        assert_eq!(v, Vec::new());
+    }
+
+    #[test]
+    fn degradation_flags_a_link_that_never_recovers() {
+        // Every flow silent after the flap clears: backoff cannot excuse
+        // all of them at once — the link never actually came back.
+        let plan = flap_plan();
+        let rates: Vec<(Time, Vec<f64>)> = (1..=10u64)
+            .map(|k| {
+                let t = Time(k * 100_000_000);
+                let r = if k <= 3 { 1e6 } else { 0.0 };
+                (t, vec![r, r])
+            })
+            .collect();
+        let v = degradation_violations(&plan, false, 1_000_000_000, &[9, 9], &[true, true], &rates);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("no flow made any progress"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn degradation_flags_post_fault_jfi_collapse() {
+        // Four symmetric flows; after the flap clears one flow owns the
+        // link (JFI -> 0.25 < floor) while the rest trickle.
+        let plan = flap_plan();
+        let v = degradation_violations(
+            &plan,
+            true,
+            1_000_000_000,
+            &[9, 9, 9, 9],
+            &[false; 4],
+            &flat_rates(&[1e6, 1.0, 1.0, 1.0]),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("post-fault JFI"), "{}", v[0].detail);
+
+        // The same tail under a plan that also carries persistent noise
+        // is exempt from the JFI clause (noise keeps perturbing flows).
+        let mut noisy = flap_plan();
+        noisy.links[0].1.loss = cebinae_faults::LossModel::Uniform { p: 0.01 };
+        assert!(noisy.has_persistent_noise());
+        let v = degradation_violations(
+            &noisy,
+            true,
+            1_000_000_000,
+            &[9, 9, 9, 9],
+            &[false; 4],
+            &flat_rates(&[1e6, 1.0, 1.0, 1.0]),
+        );
+        assert_eq!(v, Vec::new());
+    }
+
+    #[test]
+    fn degradation_skips_recovery_on_short_tails() {
+        // Quiesce at 900ms of a 1s run: tail shorter than the minimum,
+        // only the liveness clause applies.
+        let mut plan = flap_plan();
+        plan.links[0].1.timeline[1].at = Time(900_000_000);
+        assert_eq!(plan.quiesce_ns(), Some(900_000_000));
+        let v = degradation_violations(
+            &plan,
+            false,
+            1_000_000_000,
+            &[9, 9],
+            &[false, false],
+            &flat_rates(&[1e6, 0.0]),
+        );
+        assert_eq!(v, Vec::new());
     }
 }

@@ -150,6 +150,7 @@ mod tests {
             shrunk: fail.then_some(Overrides {
                 flows: Some(2),
                 dur_ms: None,
+                faults: None,
             }),
             fairness: None,
             events: 100,

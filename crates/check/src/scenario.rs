@@ -13,6 +13,7 @@ use cebinae_engine::{
     dumbbell, parking_lot, Discipline, DumbbellFlow, ParkingLotGroup, QdiscSpec, ScenarioParams,
     SimConfig,
 };
+use cebinae_faults::{chaos_plan, FaultFamily, FaultPlan};
 use cebinae_net::{BufferConfig, LinkId, Topology};
 use cebinae_sim::rng::DetRng;
 use cebinae_sim::{tx_time, Duration, SchedulerKind, Time};
@@ -77,6 +78,12 @@ pub struct GenScenario {
     /// but overridable so differential tests can replay the same scenario
     /// under both backends and demand byte-identical outcomes.
     pub scheduler: SchedulerKind,
+    /// Chaos dimension: when set, [`build_with`](GenScenario::build_with)
+    /// attaches the seed-derived [`chaos_plan`] for this family to the
+    /// bottlenecks. Not sampled by [`generate`](GenScenario::generate) —
+    /// clean seeds stay byte-identical — but set by the chaos campaign and
+    /// the `--faults` replay flag, and carried through shrinking.
+    pub fault_family: Option<FaultFamily>,
 }
 
 impl GenScenario {
@@ -158,12 +165,15 @@ impl GenScenario {
             p,
             symmetric,
             scheduler: SchedulerKind::default(),
+            fault_family: None,
         }
     }
 
     /// One-line human description (stable, for reports and shrink logs).
+    /// The faults suffix appears only on chaos scenarios, so clean-seed
+    /// reports stay byte-identical.
     pub fn describe(&self) -> String {
-        format!(
+        let mut s = format!(
             "seed={} kind={:?} disc={} flows={} rate={}Mbps buf={}mtu dur={}ms vdt=2^{} dt+{} p={} sym={}",
             self.seed,
             self.kind,
@@ -176,7 +186,21 @@ impl GenScenario {
             self.dt_extra,
             self.p,
             self.symmetric,
-        )
+        );
+        if let Some(fam) = self.fault_family {
+            s.push_str(" faults=");
+            s.push_str(fam.label());
+        }
+        s
+    }
+
+    /// The fault plan this scenario runs under: the seed-derived chaos
+    /// plan for the configured family, or the empty (inert) plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        match self.fault_family {
+            Some(fam) => chaos_plan(self.seed, fam, self.duration_ms),
+            None => FaultPlan::default(),
+        }
     }
 
     /// The exact Cebinae config this scenario installs on a bottleneck of
@@ -282,6 +306,11 @@ impl GenScenario {
         // Large enough that the generated scenarios never truncate; the
         // trace-replay oracle requires the complete offered stream.
         cfg.trace_capacity = 400_000;
+        // Chaos dimension: the plan targets `Bottlenecks`, which the
+        // engine resolves against `cfg.monitored_links` — the same links
+        // traced above, so injected drops are fully visible to the
+        // fault-accounting oracle.
+        cfg.faults = self.fault_plan();
         (cfg, bnecks)
     }
 

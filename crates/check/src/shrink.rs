@@ -8,6 +8,8 @@
 //! is the original scenario with fewer flows / less time, not a different
 //! scenario.
 
+use cebinae_faults::FaultFamily;
+
 use crate::scenario::GenScenario;
 
 /// Shortest duration the shrinker will propose: below this, slow-start
@@ -16,12 +18,16 @@ const MIN_DURATION_MS: u64 = 250;
 const MIN_FLOWS: usize = 2;
 
 /// Replayable overrides on top of a generated scenario. Encoded in the
-/// replay one-liner (`--flows N --dur-ms M`) and in corpus lines
-/// (`seed flows=N dur_ms=M`).
+/// replay one-liner (`--flows N --dur-ms M --faults FAMILY`) and in
+/// corpus lines (`seed flows=N dur_ms=M faults=FAMILY`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Overrides {
     pub flows: Option<usize>,
     pub dur_ms: Option<u64>,
+    /// Chaos dimension. Unlike `flows`/`dur_ms` this is not a shrink
+    /// target — the shrinker carries it unchanged through every candidate
+    /// so a fault-campaign failure shrinks *within* its fault family.
+    pub faults: Option<FaultFamily>,
 }
 
 impl Overrides {
@@ -31,6 +37,9 @@ impl Overrides {
         }
         if let Some(d) = self.dur_ms {
             sc.duration_ms = d.max(1);
+        }
+        if self.faults.is_some() {
+            sc.fault_family = self.faults;
         }
         // Flows scheduled past the (possibly shortened) run would never
         // start; clamp into the arrival window the generator uses.
@@ -56,6 +65,9 @@ impl Overrides {
         if let Some(d) = self.dur_ms {
             s.push_str(&format!(" --dur-ms {d}"));
         }
+        if let Some(fam) = self.faults {
+            s.push_str(&format!(" --faults {}", fam.label()));
+        }
         s
     }
 
@@ -68,6 +80,9 @@ impl Overrides {
         if let Some(d) = self.dur_ms {
             s.push_str(&format!(" dur_ms={d}"));
         }
+        if let Some(fam) = self.faults {
+            s.push_str(&format!(" faults={}", fam.label()));
+        }
         s
     }
 
@@ -79,6 +94,7 @@ impl Overrides {
                 match k {
                     "flows" => o.flows = v.parse().ok(),
                     "dur_ms" => o.dur_ms = v.parse().ok(),
+                    "faults" => o.faults = FaultFamily::parse(v),
                     _ => {}
                 }
             }
@@ -95,13 +111,15 @@ pub fn replay_line(seed: u64, o: &Overrides) -> String {
 /// Minimize a failing seed: `fails` must return `true` while the scenario
 /// still exhibits the failure. Deterministic — no randomness, a fixed
 /// sequence of candidate simplifications, each kept only if the failure
-/// persists. Returns the smallest overrides found (possibly empty).
-pub fn shrink(seed: u64, fails: impl Fn(&GenScenario) -> bool) -> Overrides {
-    let base = GenScenario::generate(seed);
-    let mut cur = Overrides::default();
+/// persists. `base` carries the non-shrunk context the failure was found
+/// under (e.g. the chaos fault family), preserved verbatim in every
+/// candidate. Returns the smallest overrides found (possibly just `base`).
+pub fn shrink(seed: u64, base: Overrides, fails: impl Fn(&GenScenario) -> bool) -> Overrides {
+    let start = base.realize(seed);
+    let mut cur = base;
 
     // 1. Halve the flow count while the failure persists.
-    let mut flows = base.n_flows;
+    let mut flows = start.n_flows;
     while flows / 2 >= MIN_FLOWS {
         let cand = Overrides {
             flows: Some(flows / 2),
@@ -116,7 +134,7 @@ pub fn shrink(seed: u64, fails: impl Fn(&GenScenario) -> bool) -> Overrides {
     }
 
     // 2. Halve the duration while the failure persists...
-    let mut dur = base.duration_ms;
+    let mut dur = start.duration_ms;
     while dur / 2 >= MIN_DURATION_MS {
         let cand = Overrides {
             dur_ms: Some(dur / 2),
@@ -158,8 +176,10 @@ mod tests {
         let o = Overrides {
             flows: Some(2),
             dur_ms: Some(500),
+            faults: Some(FaultFamily::Burst),
         };
         let suffix = o.corpus_suffix();
+        assert_eq!(suffix, " flows=2 dur_ms=500 faults=burst");
         let parsed = Overrides::from_corpus_tokens(suffix.split_whitespace());
         assert_eq!(parsed, o);
         assert_eq!(Overrides::from_corpus_tokens("".split_whitespace()), Overrides::default());
@@ -170,6 +190,7 @@ mod tests {
         let o = Overrides {
             flows: Some(3),
             dur_ms: None,
+            faults: None,
         };
         assert_eq!(
             replay_line(42, &o),
@@ -179,6 +200,15 @@ mod tests {
             replay_line(7, &Overrides::default()),
             "cargo run -p cebinae-check -- --replay 7"
         );
+        let chaos = Overrides {
+            flows: None,
+            dur_ms: Some(500),
+            faults: Some(FaultFamily::Flap),
+        };
+        assert_eq!(
+            replay_line(9, &chaos),
+            "cargo run -p cebinae-check -- --replay 9 --dur-ms 500 --faults flap"
+        );
     }
 
     #[test]
@@ -186,7 +216,7 @@ mod tests {
         // Failure persists whenever the scenario still has >= 2 flows and
         // >= 300ms: the shrinker must ride it down to the floor.
         let fails = |sc: &GenScenario| sc.n_flows >= 2 && sc.duration_ms >= 300;
-        let o = shrink(3, fails);
+        let o = shrink(3, Overrides::default(), fails);
         let sc = o.realize(3);
         let base = GenScenario::generate(3);
         assert!(sc.n_flows >= 2 && sc.n_flows <= base.n_flows);
@@ -206,7 +236,22 @@ mod tests {
         let fails = |sc: &GenScenario| {
             sc.n_flows == base.n_flows && sc.duration_ms == base.duration_ms
         };
-        assert_eq!(shrink(9, fails), Overrides::default());
+        assert_eq!(shrink(9, Overrides::default(), fails), Overrides::default());
+    }
+
+    #[test]
+    fn shrink_preserves_the_fault_family_through_candidates() {
+        let base = Overrides {
+            flows: None,
+            dur_ms: None,
+            faults: Some(FaultFamily::Loss),
+        };
+        // Fails only while the chaos dimension is intact (and is broad
+        // enough to keep shrinking): every candidate must carry it.
+        let fails = |sc: &GenScenario| sc.fault_family == Some(FaultFamily::Loss);
+        let o = shrink(5, base, fails);
+        assert_eq!(o.faults, Some(FaultFamily::Loss));
+        assert_eq!(o.realize(5).fault_family, Some(FaultFamily::Loss));
     }
 
     #[test]
@@ -224,6 +269,7 @@ mod tests {
         let o = Overrides {
             flows: None,
             dur_ms: Some(MIN_DURATION_MS),
+            faults: None,
         };
         let shrunk = o.realize(sc.seed);
         assert!(shrunk.starts_ms.iter().all(|&s| s <= MIN_DURATION_MS / 5));

@@ -1,0 +1,103 @@
+//! Fault-mutation smoke test: the graceful-degradation oracle stack must
+//! have teeth. We plant the bug the fault-accounting oracle exists to
+//! catch — injected drops silently vanishing from the `sys:faults`
+//! telemetry — by zeroing the exported counter, and demand a caught,
+//! shrunk, replayable failure whose one-liner carries the fault family.
+//!
+//! The faithful export on the same chaos run must pass, so the detection
+//! is of the planted bug, not of the scenario.
+
+use cebinae_check::oracle::check_fault_accounting;
+use cebinae_check::shrink::{self, replay_line, Overrides};
+use cebinae_engine::Simulation;
+use cebinae_faults::FaultFamily;
+use cebinae_net::{DropReason, PacketTrace, TraceEvent};
+
+/// Simulate "fault drops not counted": zero every `sys:faults`
+/// `injected_drop_pkts` row while leaving the rest of the export intact.
+/// `"v"` is the final field of a telemetry row, so truncating at its key
+/// keeps the row well-formed.
+fn zero_injected_counter(ndjson: &str) -> String {
+    let mut out = String::with_capacity(ndjson.len());
+    for line in ndjson.lines() {
+        if line.contains("\"scope\":\"sys:faults\"")
+            && line.contains("\"name\":\"injected_drop_pkts\"")
+        {
+            let cut = line.find("\"v\":").expect("telemetry row has a value");
+            out.push_str(&line[..cut]);
+            out.push_str("\"v\":0}");
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn injected_drops(trace: &PacketTrace) -> usize {
+    trace
+        .records()
+        .filter(|r| r.event == TraceEvent::Drop(DropReason::Injected))
+        .count()
+}
+
+/// Run the chaos scenario for `sc` and judge it with a tampered export.
+fn tampered_accounting_fails(sc: &cebinae_check::scenario::GenScenario) -> bool {
+    let (cfg, _) = sc.build();
+    let res = Simulation::new(cfg).run();
+    let Some(ndjson) = &res.telemetry else {
+        return false;
+    };
+    !check_fault_accounting(&res.trace, &zero_injected_counter(ndjson)).is_empty()
+}
+
+#[test]
+fn uncounted_injected_drops_are_caught_and_shrunk_to_a_replayable_seed() {
+    let base = Overrides {
+        faults: Some(FaultFamily::Loss),
+        ..Overrides::default()
+    };
+
+    // Find a chaos seed whose loss plan actually fires (the lightest
+    // chaos intensities on a short run can round to zero drops).
+    let mut found = None;
+    for seed in 0..16u64 {
+        let sc = base.realize(seed);
+        let (cfg, _) = sc.build();
+        let res = Simulation::new(cfg).run();
+        assert_eq!(res.trace.truncated, 0, "seed {seed}: trace truncated");
+        let ndjson = res.telemetry.as_ref().expect("telemetry enabled");
+
+        // Faithful export: accounting is exact on every seed.
+        assert_eq!(
+            check_fault_accounting(&res.trace, ndjson),
+            Vec::new(),
+            "seed {seed}: faithful accounting flagged"
+        );
+
+        if injected_drops(&res.trace) > 0 {
+            found = Some((sc, res));
+            break;
+        }
+    }
+    let (sc, res) = found.expect("no injected drops across 16 loss-chaos seeds");
+
+    // Planted bug: the tampered export must be flagged.
+    let ndjson = res.telemetry.as_ref().unwrap();
+    let v = check_fault_accounting(&res.trace, &zero_injected_counter(ndjson));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].oracle, "fault-accounting");
+
+    // Shrink within the fault family and verify the minimized overrides
+    // still reproduce the planted failure.
+    let shrunk = shrink::shrink(sc.seed, base, tampered_accounting_fails);
+    assert_eq!(shrunk.faults, Some(FaultFamily::Loss), "family lost in shrinking");
+    assert!(
+        tampered_accounting_fails(&shrunk.realize(sc.seed)),
+        "shrunk overrides no longer reproduce the failure"
+    );
+
+    // The replay one-liner re-arms the chaos dimension.
+    let line = replay_line(sc.seed, &shrunk);
+    assert!(line.contains("--faults loss"), "replay line lost the family: {line}");
+}

@@ -11,7 +11,7 @@
 
 use cebinae_check::model::{run_diff, DiffParams, Mutation};
 use cebinae_check::scenario::GenScenario;
-use cebinae_check::shrink::{self, replay_line};
+use cebinae_check::shrink::{self, replay_line, Overrides};
 
 /// The differential oracle with a mutated device-under-test, shaped
 /// exactly like `oracle::check_differential` but injecting `mutation`.
@@ -42,7 +42,9 @@ fn injected_off_by_one_is_caught_and_shrunk_to_a_replayable_seed() {
 
     // Shrink against the mutated oracle and verify the minimized
     // overrides still reproduce the failure.
-    let shrunk = shrink::shrink(sc.seed, |cand| mutated_diff_fails(cand, Mutation::HeadSlackOneMtu));
+    let shrunk = shrink::shrink(sc.seed, Overrides::default(), |cand| {
+        mutated_diff_fails(cand, Mutation::HeadSlackOneMtu)
+    });
     let minimized = shrunk.realize(sc.seed);
     assert!(
         mutated_diff_fails(&minimized, Mutation::HeadSlackOneMtu),

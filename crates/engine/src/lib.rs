@@ -11,6 +11,7 @@
 pub mod scenario;
 pub mod world;
 
+pub use cebinae_faults::{FaultPlan, FaultTarget, LinkFaultSpec};
 pub use cebinae_net::BufferConfig;
 pub use scenario::{
     cca_mix, dumbbell, parking_lot, Discipline, DumbbellFlow, ParkingLotGroup, ScenarioParams,
@@ -95,18 +96,38 @@ mod tests {
         let flows = vec![DumbbellFlow::new(CcKind::NewReno, 20)];
         let mut p = ScenarioParams::new(10_000_000, 100, Discipline::Fifo);
         p.duration = Duration::from_secs(5);
-        let (mut cfg, _) = dumbbell(&flows, &p);
-        cfg.fault_drop = 0.02;
-        let lossy = Simulation::new(cfg).run();
         let clean = {
             let (cfg, _) = dumbbell(&flows, &p);
             Simulation::new(cfg).run()
         };
+        p.faults = FaultPlan::uniform_loss(0.02);
+        let (cfg, _) = dumbbell(&flows, &p);
+        let lossy = Simulation::new(cfg).run();
         assert!(lossy.delivered[0] > 500_000, "TCP survives 2% loss");
         assert!(
             lossy.delivered[0] < clean.delivered[0],
             "loss must cost goodput"
         );
+    }
+
+    /// The deprecated `fault_drop` scalar folds into the plan at
+    /// construction: both spellings produce the byte-identical run.
+    #[test]
+    fn fault_drop_shim_matches_uniform_loss_plan() {
+        let flows = vec![DumbbellFlow::new(CcKind::NewReno, 20)];
+        let mut p = ScenarioParams::new(10_000_000, 100, Discipline::Fifo);
+        p.duration = Duration::from_secs(3);
+        let (mut cfg, _) = dumbbell(&flows, &p);
+        #[allow(deprecated)]
+        {
+            cfg.fault_drop = 0.02;
+        }
+        let shim = Simulation::new(cfg).run();
+        p.faults = FaultPlan::uniform_loss(0.02);
+        let (cfg, _) = dumbbell(&flows, &p);
+        let plan = Simulation::new(cfg).run();
+        assert_eq!(shim.delivered, plan.delivered);
+        assert_eq!(shim.events_processed, plan.events_processed);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! RTT and start time, bottleneck rate, buffer, and discipline under test.
 
 use cebinae::CebinaeConfig;
+use cebinae_faults::FaultPlan;
 use cebinae_fq::{AfqConfig, FqCoDelConfig};
 use cebinae_net::{BufferConfig, LinkId, Topology};
 use cebinae_sim::{Duration, SchedulerKind, Time};
@@ -61,6 +62,8 @@ pub struct ScenarioParams {
     pub telemetry: bool,
     /// Scheduler backend for the event loop (run-identical either way).
     pub scheduler: SchedulerKind,
+    /// Fault plan applied to the built simulation (empty = clean links).
+    pub faults: FaultPlan,
 }
 
 impl ScenarioParams {
@@ -77,6 +80,7 @@ impl ScenarioParams {
             seed: 1,
             telemetry: false,
             scheduler: SchedulerKind::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -217,6 +221,7 @@ pub fn dumbbell(flows: &[DumbbellFlow], p: &ScenarioParams) -> (SimConfig, LinkI
     cfg.seed = p.seed;
     cfg.telemetry = p.telemetry;
     cfg.scheduler = p.scheduler;
+    cfg.faults = p.faults.clone();
     (cfg, bneck_fwd)
 }
 
@@ -284,6 +289,7 @@ pub fn parking_lot(
     cfg.seed = p.seed;
     cfg.telemetry = p.telemetry;
     cfg.scheduler = p.scheduler;
+    cfg.faults = p.faults.clone();
     (cfg, bnecks)
 }
 

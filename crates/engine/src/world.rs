@@ -16,7 +16,7 @@ use cebinae_net::{
     BufferConfig, FifoQdisc, FlowId, LinkId, NodeId, Packet, PacketKind, PacketTrace, Qdisc,
     QdiscStats, TraceEvent, TraceRecord, Topology,
 };
-use cebinae_sim::rng::DetRng;
+use cebinae_faults::{ControlVerdict, FaultPlan, FaultsRt, LinkEventKind};
 use cebinae_sim::{tx_time, Duration, Scheduler, SchedulerKind, Time, TimerId};
 use cebinae_telemetry::{Registry, Scope};
 use cebinae_transport::{TcpConfig, TcpOutput, TcpReceiver, TcpSender, TimerAction};
@@ -71,8 +71,16 @@ pub struct SimConfig {
     pub monitored_links: Vec<LinkId>,
     pub duration: Duration,
     pub sample_interval: Duration,
-    /// Random drop probability per hop (fault injection); 0 disables.
+    /// Random drop probability per hop; 0 disables. Deprecated shim for
+    /// one release: folded into [`SimConfig::faults`] as
+    /// `FaultPlan::uniform_loss(p)` at construction.
+    #[deprecated(note = "use `faults` with `FaultPlan::uniform_loss(p)`")]
     pub fault_drop: f64,
+    /// Declarative fault plan (loss/reorder/duplication/corruption models,
+    /// link flaps and rate changes, control-plane stalls). Empty by
+    /// default; an empty plan is inert — no RNG draws, no scheduled
+    /// events, byte-identical runs.
+    pub faults: FaultPlan,
     pub seed: u64,
     /// Links to record a packet trace for (smoltcp-pcap style); empty
     /// disables tracing.
@@ -90,6 +98,7 @@ pub struct SimConfig {
 
 impl SimConfig {
     pub fn new(topology: Topology, flows: Vec<FlowSpec>) -> SimConfig {
+        #[allow(deprecated)]
         SimConfig {
             topology,
             flows,
@@ -98,6 +107,7 @@ impl SimConfig {
             duration: Duration::from_secs(10),
             sample_interval: Duration::from_millis(100),
             fault_drop: 0.0,
+            faults: FaultPlan::default(),
             seed: 0,
             traced_links: Vec::new(),
             trace_capacity: 100_000,
@@ -126,6 +136,10 @@ enum Ev {
     Rto { flow: FlowId },
     Pace { flow: FlowId },
     Sample,
+    /// A reorder-held packet is released into its link's queue.
+    FaultRelease { link: LinkId, pkt: Packet },
+    /// The next scripted event on `link`'s fault timeline is due.
+    FaultTimeline { link: LinkId },
 }
 
 struct LinkRt {
@@ -263,8 +277,8 @@ pub struct Simulation {
     events: Box<dyn Scheduler<Ev> + Send>,
     cfg_duration: Duration,
     sample_interval: Duration,
-    fault_drop: f64,
-    rng: DetRng,
+    /// Resolved fault plan; inert (no state, no draws) when empty.
+    faults: FaultsRt,
     monitored: Vec<LinkId>,
     /// Per-link qdisc buffer limits, indexed by `LinkId`.
     link_limits: Vec<u64>,
@@ -293,6 +307,7 @@ pub struct Simulation {
 
 impl Simulation {
     pub fn new(cfg: SimConfig) -> Simulation {
+        #[allow(deprecated)]
         let SimConfig {
             topology,
             flows,
@@ -301,12 +316,20 @@ impl Simulation {
             duration,
             sample_interval,
             fault_drop,
+            faults,
             seed,
             traced_links,
             trace_capacity,
             telemetry,
             scheduler,
         } = cfg;
+        // Fold the deprecated scalar knob into the plan; stochastic
+        // families compose first-spec-wins, so the shim never overrides an
+        // explicit spec.
+        let mut fault_plan = faults;
+        if fault_drop > 0.0 {
+            fault_plan.merge(FaultPlan::uniform_loss(fault_drop));
+        }
         if telemetry {
             cebinae_telemetry::set_enabled(true);
         }
@@ -328,6 +351,7 @@ impl Simulation {
             })
             .collect();
 
+        let links_len = links.len();
         let mut events = scheduler.build();
         let mut flow_rts = Vec::with_capacity(flows.len());
         for (i, f) in flows.iter().enumerate() {
@@ -367,8 +391,7 @@ impl Simulation {
             events,
             cfg_duration: duration,
             sample_interval,
-            fault_drop,
-            rng: DetRng::seed_from_u64(seed ^ 0x5eed),
+            faults: FaultsRt::resolve(&fault_plan, links_len, &monitored_links, seed),
             monitored: monitored_links,
             link_limits,
             trace: PacketTrace::with_capacity(trace_capacity),
@@ -392,6 +415,11 @@ impl Simulation {
             }
         }
         sim.events.post(Time::ZERO, Ev::Sample);
+        // Scripted fault timelines (flaps, rate changes). An empty plan
+        // posts nothing, leaving the event sequence byte-identical.
+        for (at, link) in sim.faults.timeline_posts() {
+            sim.events.post(at, Ev::FaultTimeline { link });
+        }
         sim
     }
 
@@ -463,8 +491,23 @@ impl Simulation {
             Ev::Arrive { link, pkt } => self.on_arrive(now, link, pkt),
             Ev::TxDone { link } => self.on_tx_done(now, link),
             Ev::QdiscControl { link } => {
+                // Control-plane faults: inside a stall window the recompute
+                // is parked at the window's end (one parked event per
+                // window; stragglers are absorbed into it).
+                match self.faults.control_verdict(link, now) {
+                    ControlVerdict::Park(at) => {
+                        self.events.post(at, Ev::QdiscControl { link });
+                        return;
+                    }
+                    ControlVerdict::Swallow => return,
+                    ControlVerdict::Proceed => {}
+                }
                 if let Some(next) = self.links[link.index()].qdisc.control(now) {
-                    self.events.post(next, Ev::QdiscControl { link });
+                    // A stall window can leave the qdisc's recompute
+                    // schedule behind `now`; the missed rotations replay
+                    // back-to-back at `now` (one per dispatch) instead of
+                    // being scheduled into the past.
+                    self.events.post(next.max(now), Ev::QdiscControl { link });
                 }
                 // A control event may have made packets schedulable; kick
                 // the link if it idles with a backlog.
@@ -490,6 +533,21 @@ impl Simulation {
                     self.events.post(next, Ev::Sample);
                 }
             }
+            Ev::FaultRelease { link, pkt } => {
+                // A reorder-held packet enters the queue; its fate was
+                // already drawn at the original enqueue instant.
+                self.deliver_to_qdisc(now, link, pkt);
+            }
+            Ev::FaultTimeline { link } => match self.faults.next_timeline(link) {
+                Some(LinkEventKind::Rate(bps)) => {
+                    self.links[link.index()].rate_bps = bps;
+                }
+                // A revived link resumes draining its backlog. (A packet
+                // already serializing when the link went down completes —
+                // the down state gates new dequeues, not propagation.)
+                Some(LinkEventKind::Up) => self.kick(now, link),
+                Some(LinkEventKind::Down) | None => {}
+            },
         }
     }
 
@@ -614,24 +672,62 @@ impl Simulation {
         tel.set_counter(sched, "discarded", self.events.discarded_total());
         tel.set_counter(sched, "cascades", self.events.cascades_total());
         tel.set(sched, "occupied", self.events.occupied() as u64);
+        // Fault-injection accounting, present only when a plan is active
+        // so faultless exports stay byte-identical.
+        if self.faults.any() {
+            let fs = *self.faults.stats();
+            let flt = Scope::Sys("faults");
+            tel.set_counter(flt, "injected_drop_pkts", fs.injected_drop_pkts);
+            tel.set_counter(flt, "injected_drop_bytes", fs.injected_drop_bytes);
+            tel.set_counter(flt, "corrupt_pkts", fs.corrupt_pkts);
+            tel.set_counter(flt, "corrupt_rx_drops", fs.corrupt_rx_drops);
+            tel.set_counter(flt, "dup_pkts", fs.dup_pkts);
+            tel.set_counter(flt, "reorder_held_pkts", fs.reorder_held_pkts);
+            tel.set_counter(flt, "loss_bursts", fs.loss_bursts);
+            tel.set_counter(flt, "link_down_events", fs.link_down_events);
+            tel.set_counter(flt, "link_up_events", fs.link_up_events);
+            tel.set_counter(flt, "rate_changes", fs.rate_changes);
+            tel.set_counter(flt, "control_delayed", fs.control_delayed);
+            tel.set_counter(flt, "control_skipped", fs.control_skipped);
+            tel.set(flt, "links_down", self.faults.links_down() as u64);
+        }
         tel.sample(now.0);
         self.tel = Some(tel);
     }
 
-    /// Enqueue a packet on a link and start transmission if idle.
-    fn enqueue_link(&mut self, now: Time, link: LinkId, pkt: Packet) {
-        let traced = self.traced[link.index()];
-        if self.fault_drop > 0.0 && self.rng.gen_bool(self.fault_drop) {
-            if traced {
-                self.trace.push(TraceRecord::from_packet(
-                    now,
-                    link,
-                    &pkt,
-                    TraceEvent::Drop(cebinae_net::DropReason::Injected),
-                ));
+    /// Offer a packet to a link: apply the link's fault model (loss /
+    /// corruption / duplication / reorder holdback), then enqueue.
+    fn enqueue_link(&mut self, now: Time, link: LinkId, mut pkt: Packet) {
+        if self.faults.any() {
+            let fate = self.faults.on_enqueue(link, pkt.size);
+            if fate.drop {
+                if self.traced[link.index()] {
+                    self.trace.push(TraceRecord::from_packet(
+                        now,
+                        link,
+                        &pkt,
+                        TraceEvent::Drop(cebinae_net::DropReason::Injected),
+                    ));
+                }
+                return; // injected loss
             }
-            return; // injected loss
+            if fate.corrupt {
+                pkt.corrupted = true;
+            }
+            if fate.duplicate {
+                self.deliver_to_qdisc(now, link, pkt.clone());
+            }
+            if let Some(hold) = fate.hold {
+                self.events.post(now + hold, Ev::FaultRelease { link, pkt });
+                return;
+            }
         }
+        self.deliver_to_qdisc(now, link, pkt);
+    }
+
+    /// Enqueue a packet on a link's qdisc and start transmission if idle.
+    fn deliver_to_qdisc(&mut self, now: Time, link: LinkId, pkt: Packet) {
+        let traced = self.traced[link.index()];
         if traced {
             // Record the offered packet; overwrite with the drop verdict if
             // the qdisc rejects it.
@@ -655,6 +751,9 @@ impl Simulation {
 
     /// If the link is idle and has queued packets, begin serializing.
     fn kick(&mut self, now: Time, link: LinkId) {
+        if self.faults.is_down(link) {
+            return; // scripted down: backlog waits in the qdisc
+        }
         let l = &mut self.links[link.index()];
         if l.busy {
             return;
@@ -695,7 +794,12 @@ impl Simulation {
             self.enqueue_link(now, next, pkt);
             return;
         }
-        // Endpoint delivery.
+        // Endpoint delivery. Corrupted packets consumed queue space and
+        // link capacity but fail their checksum here.
+        if pkt.corrupted {
+            self.faults.note_corrupt_rx_drop();
+            return;
+        }
         match pkt.kind {
             PacketKind::Data { .. } => {
                 let mut ack = self.flows[flow.index()].receiver.on_data(&pkt, now);
@@ -809,5 +913,7 @@ fn phase_name(ev: &Ev) -> &'static str {
         Ev::Rto { .. } => "transport_rto",
         Ev::Pace { .. } => "transport_pace",
         Ev::Sample => "sample",
+        Ev::FaultRelease { .. } => "fault_release",
+        Ev::FaultTimeline { .. } => "fault_timeline",
     }
 }

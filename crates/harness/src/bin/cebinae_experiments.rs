@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N] [--threads N]
-//!                                     [--telemetry PATH]
+//!                                     [--telemetry PATH] [--faults SPEC]
 //! cebinae-experiments all [--full]
 //! cebinae-experiments list
 //! ```
@@ -12,7 +12,7 @@ use cebinae_harness::{run_experiment, Ctx, EXPERIMENTS};
 fn usage() -> ! {
     eprintln!(
         "usage: cebinae-experiments <experiment>... [--full] [--rows 1,2,5] [--seed N] [--threads N]\n\
-                                    [--telemetry PATH]\n\
+                                    [--telemetry PATH] [--faults SPEC]\n\
          \n\
          experiments: {}\n\
          special:     all (every experiment), list (print names)\n\
@@ -23,7 +23,10 @@ fn usage() -> ! {
                                   or the machine's cores; output is identical\n\
                                   for any value)\n\
                       --telemetry append deterministic NDJSON telemetry to\n\
-                                  PATH (also: CEBINAE_TELEMETRY=PATH)",
+                                  PATH (also: CEBINAE_TELEMETRY=PATH)\n\
+                      --faults    fault plan for fault-aware experiments, e.g.\n\
+                                  'burst:0.3,flap:500+200' (also:\n\
+                                  CEBINAE_FAULTS=SPEC; see the chaos experiment)",
         EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -64,6 +67,16 @@ fn main() {
             }
             "--telemetry" => {
                 ctx.telemetry = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--faults" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                match cebinae_faults::FaultPlan::parse(&spec) {
+                    Ok(plan) => ctx.faults = plan,
+                    Err(e) => {
+                        eprintln!("--faults: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "list" => {
                 for e in EXPERIMENTS {

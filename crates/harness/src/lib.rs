@@ -15,6 +15,7 @@
 //! thread count.
 
 pub mod ablations;
+pub mod chaos;
 pub mod extensions;
 pub mod fig11;
 pub mod fig2;
@@ -30,7 +31,7 @@ pub use runner::{run_with_params, Ctx, DumbbellRun, RunMetrics, Table};
 pub const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "table2", "fig7", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "table3",
     "fig13a", "fig13b", "ablation-p", "ablation-perflow", "ablation-disciplines", "ablation-ecn",
-    "ext-fct", "ext-scalability",
+    "ext-fct", "ext-scalability", "chaos",
 ];
 
 /// Dispatch one experiment by name.
@@ -55,6 +56,7 @@ pub fn run_experiment(name: &str, ctx: &Ctx, rows: Option<&[usize]>) -> Result<S
         "ablation-ecn" => ablations::ecn(ctx),
         "ext-fct" => extensions::fct(ctx),
         "ext-scalability" => extensions::scalability(),
+        "chaos" => chaos::run(ctx),
         other => return Err(format!("unknown experiment '{other}'; known: {EXPERIMENTS:?}")),
     })
 }
@@ -83,7 +85,7 @@ mod tests {
                 matches!(*name, "fig1" | "fig2" | "table2" | "fig7" | "fig8a" | "fig8b" | "fig9"
                     | "fig10" | "fig11" | "fig12" | "table3" | "fig13a" | "fig13b"
                     | "ablation-p" | "ablation-perflow" | "ablation-disciplines"
-                    | "ablation-ecn" | "ext-fct" | "ext-scalability"),
+                    | "ablation-ecn" | "ext-fct" | "ext-scalability" | "chaos"),
                 "{name} not handled"
             );
         }

@@ -4,6 +4,7 @@
 use cebinae_engine::{
     dumbbell, BufferConfig, Discipline, DumbbellFlow, ScenarioParams, SimResult, Simulation,
 };
+use cebinae_faults::FaultPlan;
 use cebinae_metrics::jfi;
 use cebinae_par::TrialPool;
 use cebinae_sim::{Duration, SchedulerKind, Time};
@@ -29,12 +30,20 @@ pub struct Ctx {
     /// Event-loop scheduler backend (`CEBINAE_SCHED=heap|wheel`). Every
     /// experiment is byte-identical under either; the wheel is the default.
     pub sched: SchedulerKind,
+    /// Fault plan applied by fault-aware experiments (`CEBINAE_FAULTS` /
+    /// `--faults`, compact [`FaultPlan::parse`] syntax). Empty by default:
+    /// the paper's tables and figures always run clean; only experiments
+    /// that opt in (the `chaos` experiment) consult this.
+    pub faults: FaultPlan,
 }
 
 impl Ctx {
     /// Context from the environment: `CEBINAE_FULL`, `CEBINAE_THREADS`,
-    /// `CEBINAE_TELEMETRY` (sink path), and `CEBINAE_SCHED` (`heap` /
-    /// `wheel`; unknown values fall back to the default backend).
+    /// `CEBINAE_TELEMETRY` (sink path), `CEBINAE_SCHED` (`heap` / `wheel`;
+    /// unknown values fall back to the default backend), and
+    /// `CEBINAE_FAULTS` (compact fault spec; a malformed spec warns on
+    /// stderr and runs clean rather than silently faulting the wrong
+    /// thing).
     pub fn from_env() -> Ctx {
         Ctx {
             full: std::env::var_os("CEBINAE_FULL").is_some(),
@@ -44,6 +53,15 @@ impl Ctx {
                 .map(|v| v.to_string_lossy().into_owned()),
             sched: std::env::var_os("CEBINAE_SCHED")
                 .and_then(|v| SchedulerKind::parse(&v.to_string_lossy()))
+                .unwrap_or_default(),
+            faults: std::env::var_os("CEBINAE_FAULTS")
+                .map(|v| match FaultPlan::parse(&v.to_string_lossy()) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        eprintln!("CEBINAE_FAULTS ignored: {e}");
+                        FaultPlan::default()
+                    }
+                })
                 .unwrap_or_default(),
         }
     }
@@ -57,6 +75,7 @@ impl Ctx {
             threads: 1,
             telemetry: None,
             sched: SchedulerKind::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -85,6 +104,12 @@ impl Ctx {
     /// drives.
     pub fn with_scheduler(mut self, sched: SchedulerKind) -> Ctx {
         self.sched = sched;
+        self
+    }
+
+    /// Arm a fault plan for fault-aware experiments.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Ctx {
+        self.faults = faults;
         self
     }
 
@@ -199,6 +224,12 @@ impl DumbbellRun {
     /// Select the event-loop scheduler backend (run-identical either way).
     pub fn scheduler(mut self, sched: SchedulerKind) -> DumbbellRun {
         self.params.scheduler = sched;
+        self
+    }
+
+    /// Apply a [`FaultPlan`] to every run built from this builder.
+    pub fn faults(mut self, plan: FaultPlan) -> DumbbellRun {
+        self.params.faults = plan;
         self
     }
 
@@ -440,14 +471,37 @@ mod tests {
             .with_threads(3)
             .with_full(true)
             .with_telemetry(Some("t.ndjson".into()))
-            .with_scheduler(SchedulerKind::Heap);
+            .with_scheduler(SchedulerKind::Heap)
+            .with_faults(FaultPlan::uniform_loss(0.01));
         assert_eq!(ctx.seed, 9);
         assert_eq!(ctx.threads, 3);
         assert!(ctx.full);
         assert!(ctx.telemetry_enabled());
         assert_eq!(ctx.sched, SchedulerKind::Heap);
+        assert!(!ctx.faults.is_empty());
         assert!(!Ctx::serial(false, 0).telemetry_enabled());
         assert_eq!(Ctx::serial(false, 0).sched, SchedulerKind::default());
+        assert!(Ctx::serial(false, 0).faults.is_empty(), "experiments run clean by default");
+    }
+
+    #[test]
+    fn faulted_dumbbell_run_costs_throughput() {
+        let flows = vec![
+            DumbbellFlow::new(CcKind::NewReno, 20),
+            DumbbellFlow::new(CcKind::NewReno, 20),
+        ];
+        let base = DumbbellRun::new(10_000_000)
+            .buffer_mtus(100)
+            .duration(Duration::from_secs(3))
+            .seed(7);
+        let clean = base.clone().run(&flows);
+        let lossy = base.faults(FaultPlan::uniform_loss(0.03)).run(&flows);
+        assert!(
+            lossy.goodput_bps < clean.goodput_bps,
+            "3% loss must cost goodput: {} vs {}",
+            lossy.goodput_bps,
+            clean.goodput_bps
+        );
     }
 
     #[test]

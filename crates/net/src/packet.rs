@@ -106,6 +106,10 @@ pub struct Packet {
     pub sent_at: Time,
     /// Current hop index along the flow's path, maintained by the engine.
     pub hop: u8,
+    /// Set by fault injection: the packet traverses the network normally
+    /// (consuming queue space and link capacity) but fails its checksum
+    /// and is discarded at the receiving endpoint.
+    pub corrupted: bool,
 }
 
 impl Packet {
@@ -119,6 +123,7 @@ impl Packet {
             ecn: Ecn::NotCapable,
             sent_at: now,
             hop: 0,
+            corrupted: false,
         }
     }
 
@@ -150,6 +155,7 @@ impl Packet {
             ecn: Ecn::NotCapable,
             sent_at: now,
             hop: 0,
+            corrupted: false,
         }
     }
 

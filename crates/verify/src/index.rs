@@ -27,7 +27,7 @@ pub struct FnEntry {
 /// Direct intra-workspace dependencies of each crate, mirroring the
 /// `Cargo.toml` graph. Unknown crates (fixture paths, future crates)
 /// resolve permissively: all edges allowed.
-const CRATE_DEPS: [(&str, &[&str]); 14] = [
+const CRATE_DEPS: [(&str, &[&str]); 15] = [
     ("sim", &[]),
     ("net", &["sim"]),
     ("core", &["sim", "net"]),
@@ -38,17 +38,24 @@ const CRATE_DEPS: [(&str, &[&str]); 14] = [
     ("telemetry", &[]),
     ("par", &[]),
     ("verify", &[]),
-    ("engine", &["sim", "net", "transport", "fq", "core", "metrics", "telemetry"]),
-    ("check", &["sim", "net", "core", "transport", "fq", "engine", "metrics", "par"]),
+    ("faults", &["sim", "net"]),
+    (
+        "engine",
+        &["sim", "net", "faults", "transport", "fq", "core", "metrics", "telemetry"],
+    ),
+    (
+        "check",
+        &["sim", "net", "faults", "core", "transport", "fq", "engine", "metrics", "par"],
+    ),
     (
         "harness",
-        &["sim", "net", "transport", "fq", "core", "engine", "traffic", "metrics", "par"],
+        &["sim", "net", "faults", "transport", "fq", "core", "engine", "traffic", "metrics", "par"],
     ),
     (
         "bench",
         &[
-            "sim", "net", "transport", "fq", "core", "engine", "traffic", "metrics", "par",
-            "telemetry", "check", "harness",
+            "sim", "net", "faults", "transport", "fq", "core", "engine", "traffic", "metrics",
+            "par", "telemetry", "check", "harness",
         ],
     ),
 ];

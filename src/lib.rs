@@ -10,6 +10,7 @@
 
 pub use cebinae;
 pub use cebinae_engine as engine;
+pub use cebinae_faults as faults;
 pub use cebinae_fq as fq;
 pub use cebinae_harness as harness;
 pub use cebinae_metrics as metrics;
@@ -24,6 +25,10 @@ pub mod prelude {
     pub use cebinae_engine::{
         cca_mix, dumbbell, parking_lot, Discipline, DumbbellFlow, ParkingLotGroup,
         ScenarioParams, SimConfig, SimResult, Simulation,
+    };
+    pub use cebinae_faults::{
+        chaos_plan, ControlFaultSpec, FaultFamily, FaultPlan, FaultTarget, LinkEvent,
+        LinkEventKind, LinkFaultSpec, LossModel, ReorderSpec, StallMode, StallWindow,
     };
     pub use cebinae_metrics::{jfi, jfi_maxmin_normalized, water_filling, MaxMinFlow};
     pub use cebinae_net::{BufferConfig, FlowId, LinkId, Packet, Qdisc, Topology};

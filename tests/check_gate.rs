@@ -6,7 +6,7 @@
 //! CI additionally runs the full 32-seed smoke via the CLI; this gate
 //! keeps a plain `cargo test -q` honest with a fraction of the seeds.
 
-use cebinae_check::{parse_corpus, run_campaign, run_corpus};
+use cebinae_check::{parse_corpus, run_campaign, run_chaos_campaign, run_corpus};
 use cebinae_par::TrialPool;
 
 const GATE_SEEDS: u64 = 8;
@@ -30,6 +30,27 @@ fn smoke_campaign_is_green_and_thread_count_invariant() {
 }
 
 #[test]
+fn chaos_campaign_is_green_and_thread_count_invariant() {
+    // Eight seeds = one per fault family (the campaign cycles
+    // FaultFamily::ALL), each judged by the graceful-degradation oracles
+    // on top of the clean-corpus ones. Fault injection is inside the
+    // determinism contract, so the report bytes are thread-invariant too.
+    let serial = run_chaos_campaign(0, GATE_SEEDS, &TrialPool::with_threads(1));
+    assert!(
+        serial.passed(),
+        "chaos campaign failed:\n{}",
+        serial.render()
+    );
+    let pooled = run_chaos_campaign(0, GATE_SEEDS, &TrialPool::with_threads(8));
+    assert_eq!(
+        serial.render(),
+        pooled.render(),
+        "chaos report bytes differ between 1 and 8 threads"
+    );
+    assert_eq!(serial.fingerprint(), pooled.fingerprint());
+}
+
+#[test]
 fn committed_corpus_replays_green() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -38,6 +59,10 @@ fn committed_corpus_replays_green() {
     let text = std::fs::read_to_string(path).expect("read regression corpus");
     let entries = parse_corpus(&text).expect("parse regression corpus");
     assert!(!entries.is_empty(), "regression corpus is empty");
+    assert!(
+        entries.iter().filter(|e| e.overrides.faults.is_some()).count() >= 8,
+        "corpus must keep one chaos entry per fault family"
+    );
     let report = run_corpus(&entries, &TrialPool::with_threads(8));
     assert!(
         report.passed(),

@@ -1,30 +1,20 @@
 //! Robustness and fault-injection integration tests, in the spirit of the
 //! smoltcp examples' `--drop-chance`: the full stack (TCP + qdiscs +
 //! Cebinae control plane) must stay correct under adverse conditions.
+//!
+//! The shared mixed-CCA dumbbell lives in [`support`]; faults are
+//! declared as [`FaultPlan`]s (the old `fault_drop` knob survives only as
+//! a deprecated shim, exercised by the engine's own migration test).
+
+mod support;
 
 use cebinae_repro::prelude::*;
 use cebinae_sim::rng::DetRng;
-
-fn run_mixed(discipline: Discipline, fault_drop: f64, seed: u64, secs: u64) -> SimResult {
-    let flows = vec![
-        DumbbellFlow::new(CcKind::NewReno, 20),
-        DumbbellFlow::new(CcKind::Cubic, 30),
-        DumbbellFlow::new(CcKind::Vegas, 40),
-        DumbbellFlow::new(CcKind::Bbr, 25),
-        DumbbellFlow::new(CcKind::Bic, 35),
-    ];
-    let mut p = ScenarioParams::new(25_000_000, 150, discipline);
-    p.duration = Duration::from_secs(secs);
-    p.seed = seed;
-    p.cebinae_p = Some(1);
-    let (mut cfg, _) = dumbbell(&flows, &p);
-    cfg.fault_drop = fault_drop;
-    Simulation::new(cfg).run()
-}
+use support::{fault_family_plans, run_mixed};
 
 #[test]
 fn all_ccas_coexist_under_cebinae_with_random_loss() {
-    let r = run_mixed(Discipline::Cebinae, 0.005, 7, 10);
+    let r = run_mixed(Discipline::Cebinae, &FaultPlan::uniform_loss(0.005), 7, 10);
     for (i, &d) in r.delivered.iter().enumerate() {
         assert!(
             d > 200_000,
@@ -35,8 +25,8 @@ fn all_ccas_coexist_under_cebinae_with_random_loss() {
 
 #[test]
 fn heavy_loss_degrades_gracefully() {
-    let clean = run_mixed(Discipline::Cebinae, 0.0, 7, 10);
-    let lossy = run_mixed(Discipline::Cebinae, 0.05, 7, 10);
+    let clean = run_mixed(Discipline::Cebinae, &FaultPlan::default(), 7, 10);
+    let lossy = run_mixed(Discipline::Cebinae, &FaultPlan::uniform_loss(0.05), 7, 10);
     let sum = |r: &SimResult| r.delivered.iter().sum::<u64>();
     assert!(sum(&lossy) > 0);
     assert!(
@@ -45,6 +35,61 @@ fn heavy_loss_degrades_gracefully() {
         sum(&lossy),
         sum(&clean)
     );
+}
+
+/// Every fault family, under every discipline: the run completes, bytes
+/// are conserved at each link, and no flow is starved outright by
+/// bounded-intensity adversity — the integration-level face of the
+/// cebinae-check graceful-degradation oracles.
+#[test]
+fn every_fault_family_is_survivable_across_disciplines() {
+    for d in [Discipline::Fifo, Discipline::FqCoDel, Discipline::Cebinae] {
+        for (name, plan) in fault_family_plans() {
+            let r = run_mixed(d, &plan, 11, 5);
+            let total: u64 = r.delivered.iter().sum();
+            assert!(
+                total > 2_000_000,
+                "{}/{name}: barely any delivery: {total}",
+                d.label()
+            );
+            for (i, &bytes) in r.delivered.iter().enumerate() {
+                assert!(
+                    bytes > 50_000,
+                    "{}/{name}: flow {i} starved: {bytes} bytes",
+                    d.label()
+                );
+            }
+            for s in &r.link_stats {
+                assert!(s.enq_bytes >= s.tx_bytes, "{}/{name}", d.label());
+            }
+        }
+    }
+}
+
+/// A flap parks the bottleneck for 400 ms; delivery must keep growing
+/// after the link returns, and the faulted run can never beat the clean
+/// twin.
+#[test]
+fn traffic_resumes_after_a_link_flap() {
+    let flap = fault_family_plans()
+        .into_iter()
+        .find(|(name, _)| *name == "flap")
+        .map(|(_, plan)| plan)
+        .unwrap();
+    let clean = run_mixed(Discipline::Cebinae, &FaultPlan::default(), 11, 5);
+    let flapped = run_mixed(Discipline::Cebinae, &flap, 11, 5);
+    let sum = |r: &SimResult| r.delivered.iter().sum::<u64>();
+    assert!(
+        sum(&flapped) < sum(&clean),
+        "a 400 ms outage must cost throughput: {} vs {}",
+        sum(&flapped),
+        sum(&clean)
+    );
+    // Everyone still finishes with real progress: the post-flap window
+    // is long enough for every CCA to recover from its RTO backoff.
+    for (i, &bytes) in flapped.delivered.iter().enumerate() {
+        assert!(bytes > 50_000, "flow {i} never recovered from the flap: {bytes}");
+    }
 }
 
 #[test]

@@ -65,6 +65,32 @@ fn check_corpus_is_byte_identical_across_backends() {
     }
 }
 
+/// Chaos scenarios lean on the scheduler hardest — flaps park and
+/// release links, reorder holdbacks and control stalls add timer churn
+/// the clean corpus never generates. Every fault family must still be
+/// backend-invariant, oracle verdicts included.
+#[test]
+fn chaos_scenarios_are_byte_identical_across_backends() {
+    use cebinae_faults::FaultFamily;
+    for (seed, fam) in FaultFamily::ALL.iter().enumerate() {
+        let mut sc = GenScenario::generate(seed as u64);
+        sc.duration_ms = sc.duration_ms.min(1000);
+        sc.fault_family = Some(*fam);
+        sc.scheduler = SchedulerKind::Heap;
+        let heap_fp = run_fingerprint(&sc);
+        let (heap_viol, ..) = cebinae_check::check_scenario(&sc);
+        sc.scheduler = SchedulerKind::Wheel;
+        let wheel_fp = run_fingerprint(&sc);
+        let (wheel_viol, ..) = cebinae_check::check_scenario(&sc);
+        assert_eq!(heap_fp, wheel_fp, "seed {seed} {fam}: chaos runs diverged");
+        assert_eq!(
+            format!("{heap_viol:?}"),
+            format!("{wheel_viol:?}"),
+            "seed {seed} {fam}: oracle verdicts diverged"
+        );
+    }
+}
+
 fn backend_run(sched: SchedulerKind, threads: usize) -> Vec<String> {
     let flows = vec![
         DumbbellFlow::new(CcKind::NewReno, 20),
