@@ -199,37 +199,66 @@ fn bench_check_campaign(opts: &Opts, parallel_threads: usize) -> Outcome {
     }
 }
 
-/// Wall-clock budgets for the many-flow macro experiment (median ms).
+/// Baselines for the many-flow macro experiment, pinned from the
+/// pre-staged-dataplane engine (packets rode inside `Arrive` events; every
+/// hop of every link was event-emulated) on the reference CI shape:
 ///
-/// Set to 0.85x the pre-change (BTreeMap flow tables) measurement on the
-/// reference CI shape, so `--check` enforces that the DetMap rewiring
-/// keeps its >= 15% wall-clock win and never regresses back toward the
-/// O(log n) baseline.
-/// Pre-change medians on the reference shape: smoke (2048 flows x 1 s)
-/// 2084 ms, full (4096 flows x 2 s) 5065 ms.
-const MANY_FLOW_BUDGET_MS_SMOKE: f64 = 0.85 * 2084.0;
-const MANY_FLOW_BUDGET_MS_FULL: f64 = 0.85 * 5065.0;
+/// * smoke (2048 flows x 1 s): wall 631.7 ms, 584,311 events, 293,036
+///   link transmissions -> 1.994 events per transmitted packet;
+/// * full (4096 flows x 2 s): wall 1533.8 ms, 1,112,380 events, 549,468
+///   link transmissions -> 2.024 events per transmitted packet.
+///
+/// `--check` gates the staged dataplane against these: scheduler events
+/// per transmitted packet must be cut >= 1.8x (the express path collapses
+/// unmanaged-hop event chains), and the median wall-clock must come in at
+/// <= 0.9x the pre-change baseline.
+const MANY_FLOW_BASE_EPP_SMOKE: f64 = 1.994;
+const MANY_FLOW_BASE_EPP_FULL: f64 = 2.024;
+const MANY_FLOW_BUDGET_MS_SMOKE: f64 = 0.9 * 631.7;
+const MANY_FLOW_BUDGET_MS_FULL: f64 = 0.9 * 1533.8;
+/// Required reduction in scheduler events per transmitted packet.
+const MANY_FLOW_MIN_EPP_REDUCTION: f64 = 1.8;
 
 /// The many-flow macro experiment: thousands of concurrent flows through
 /// one bottleneck running ideal FQ-CoDel (bucket = flow id), the shape
-/// where per-packet flow-table cost dominates — every enqueue/dequeue
-/// walks a flow table with >= 2k entries. Not an [`Outcome`]: a single
+/// where per-packet cost dominates. Not an [`Outcome`]: a single
 /// simulation has no serial/parallel twin, so the gates are (a) repeated
-/// runs produce identical results and (b) the median wall-clock fits the
-/// budget pinned from the pre-change baseline.
+/// runs produce identical results, (b) the median wall-clock fits the
+/// budget pinned from the pre-change baseline, and (c) the event-path
+/// diet holds — events per transmitted packet is down >= 1.8x from the
+/// pre-staged-dataplane engine.
 struct ManyFlowOutcome {
     flows: usize,
     wall_ms: f64,
     events: u64,
+    /// Packets transmitted across every link (managed qdiscs + express
+    /// overlays) — the denominator of `events_per_packet`.
+    tx_pkts: u64,
+    /// Scheduler events dispatched per transmitted packet.
+    events_per_packet: f64,
+    /// Pre-change baseline EPP divided by measured EPP.
+    epp_reduction: f64,
     identical: bool,
     budget_ms: f64,
 }
 
 fn bench_many_flow(opts: &Opts) -> ManyFlowOutcome {
-    let (n_flows, rate_bps, secs, budget_ms) = if opts.smoke {
-        (2048usize, 400_000_000u64, 1u64, MANY_FLOW_BUDGET_MS_SMOKE)
+    let (n_flows, rate_bps, secs, budget_ms, base_epp) = if opts.smoke {
+        (
+            2048usize,
+            400_000_000u64,
+            1u64,
+            MANY_FLOW_BUDGET_MS_SMOKE,
+            MANY_FLOW_BASE_EPP_SMOKE,
+        )
     } else {
-        (4096, 400_000_000, 2, MANY_FLOW_BUDGET_MS_FULL)
+        (
+            4096,
+            400_000_000,
+            2,
+            MANY_FLOW_BUDGET_MS_FULL,
+            MANY_FLOW_BASE_EPP_FULL,
+        )
     };
     // Mixed RTTs so flows desynchronize and the table sees a realistic
     // interleaving of hot and cold entries.
@@ -256,10 +285,15 @@ fn bench_many_flow(opts: &Opts) -> ManyFlowOutcome {
         prints.push(fingerprint(&r));
         r
     });
+    let tx_pkts: u64 = result.link_stats.iter().map(|s| s.tx_pkts).sum();
+    let events_per_packet = result.events_processed as f64 / tx_pkts.max(1) as f64;
     ManyFlowOutcome {
         flows: n_flows,
         wall_ms,
         events: result.events_processed,
+        tx_pkts,
+        events_per_packet,
+        epp_reduction: base_epp / events_per_packet,
         identical: prints.windows(2).all(|w| w[0] == w[1]),
         budget_ms,
     }
@@ -558,6 +592,9 @@ fn render_json(
     let _ = writeln!(j, "    \"flows\": {},", many_flow.flows);
     let _ = writeln!(j, "    \"wall_ms\": {:.3},", many_flow.wall_ms);
     let _ = writeln!(j, "    \"events\": {},", many_flow.events);
+    let _ = writeln!(j, "    \"tx_pkts\": {},", many_flow.tx_pkts);
+    let _ = writeln!(j, "    \"events_per_packet\": {:.4},", many_flow.events_per_packet);
+    let _ = writeln!(j, "    \"epp_reduction\": {:.3},", many_flow.epp_reduction);
     let _ = writeln!(j, "    \"identical\": {},", many_flow.identical);
     if many_flow.budget_ms.is_finite() {
         let _ = writeln!(j, "    \"budget_ms\": {:.3}", many_flow.budget_ms);
@@ -649,8 +686,18 @@ fn main() {
         }
         if many_flow.wall_ms > many_flow.budget_ms {
             eprintln!(
-                "CHECK FAILED: many-flow ({} flows) took {:.0} ms > {:.0} ms budget (0.85x pre-DetMap baseline)",
+                "CHECK FAILED: many-flow ({} flows) took {:.0} ms > {:.0} ms budget (0.9x pre-staged-dataplane baseline)",
                 many_flow.flows, many_flow.wall_ms, many_flow.budget_ms
+            );
+            failed = true;
+        }
+        if many_flow.epp_reduction < MANY_FLOW_MIN_EPP_REDUCTION {
+            eprintln!(
+                "CHECK FAILED: many-flow events/packet only cut {:.2}x ({:.3} epp, {} events / {} tx pkts); need >= {MANY_FLOW_MIN_EPP_REDUCTION}x",
+                many_flow.epp_reduction,
+                many_flow.events_per_packet,
+                many_flow.events,
+                many_flow.tx_pkts
             );
             failed = true;
         }

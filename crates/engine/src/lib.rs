@@ -110,26 +110,6 @@ mod tests {
         );
     }
 
-    /// The deprecated `fault_drop` scalar folds into the plan at
-    /// construction: both spellings produce the byte-identical run.
-    #[test]
-    fn fault_drop_shim_matches_uniform_loss_plan() {
-        let flows = vec![DumbbellFlow::new(CcKind::NewReno, 20)];
-        let mut p = ScenarioParams::new(10_000_000, 100, Discipline::Fifo);
-        p.duration = Duration::from_secs(3);
-        let (mut cfg, _) = dumbbell(&flows, &p);
-        #[allow(deprecated)]
-        {
-            cfg.fault_drop = 0.02;
-        }
-        let shim = Simulation::new(cfg).run();
-        p.faults = FaultPlan::uniform_loss(0.02);
-        let (cfg, _) = dumbbell(&flows, &p);
-        let plan = Simulation::new(cfg).run();
-        assert_eq!(shim.delivered, plan.delivered);
-        assert_eq!(shim.events_processed, plan.events_processed);
-    }
-
     #[test]
     fn staggered_starts_respected() {
         let flows = vec![

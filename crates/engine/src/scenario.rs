@@ -60,6 +60,9 @@ pub struct ScenarioParams {
     pub seed: u64,
     /// Collect deterministic telemetry into [`SimResult::telemetry`](crate::SimResult).
     pub telemetry: bool,
+    /// Allow the engine's express path on eligible links (default true);
+    /// see [`SimConfig::express`](crate::SimConfig).
+    pub express: bool,
     /// Scheduler backend for the event loop (run-identical either way).
     pub scheduler: SchedulerKind,
     /// Fault plan applied to the built simulation (empty = clean links).
@@ -79,6 +82,7 @@ impl ScenarioParams {
             sample_interval: Duration::from_millis(100),
             seed: 1,
             telemetry: false,
+            express: true,
             scheduler: SchedulerKind::default(),
             faults: FaultPlan::default(),
         }
@@ -220,6 +224,7 @@ pub fn dumbbell(flows: &[DumbbellFlow], p: &ScenarioParams) -> (SimConfig, LinkI
     cfg.sample_interval = p.sample_interval;
     cfg.seed = p.seed;
     cfg.telemetry = p.telemetry;
+    cfg.express = p.express;
     cfg.scheduler = p.scheduler;
     cfg.faults = p.faults.clone();
     (cfg, bneck_fwd)
@@ -288,6 +293,7 @@ pub fn parking_lot(
     cfg.sample_interval = p.sample_interval;
     cfg.seed = p.seed;
     cfg.telemetry = p.telemetry;
+    cfg.express = p.express;
     cfg.scheduler = p.scheduler;
     cfg.faults = p.faults.clone();
     (cfg, bnecks)

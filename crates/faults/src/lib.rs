@@ -4,8 +4,8 @@
 //!
 //! The paper evaluates Cebinae's control loop only on clean links; real
 //! deployments see bursty loss, reordering, flapping links, and a control
-//! plane that occasionally stalls. This crate replaces the engine's old
-//! single `fault_drop` probability with a declarative [`FaultPlan`]:
+//! plane that occasionally stalls. This crate gives the engine a
+//! declarative [`FaultPlan`]:
 //! per-link stochastic models (loss, reorder, duplication, corruption),
 //! scripted link timelines (down/up flaps, rate changes), and
 //! control-plane stall windows that delay or collapse Cebinae rotations.
@@ -195,8 +195,8 @@ impl FaultPlan {
             && self.control.iter().all(|(_, c)| c.windows.is_empty())
     }
 
-    /// The migration shim for the old `SimConfig::fault_drop` knob:
-    /// independent uniform loss with probability `p` on every link.
+    /// Independent uniform loss with probability `p` on every link —
+    /// the simplest useful plan.
     pub fn uniform_loss(p: f64) -> FaultPlan {
         if p <= 0.0 {
             return FaultPlan::default();
@@ -213,10 +213,9 @@ impl FaultPlan {
         }
     }
 
-    /// Append another plan's specs to this one. Used by the engine to
-    /// fold the deprecated `fault_drop` shim into an explicit plan;
-    /// because stochastic families compose first-spec-wins, an appended
-    /// shim never overrides an explicit spec for the same family.
+    /// Append another plan's specs to this one. Stochastic families
+    /// compose first-spec-wins, so an appended spec never overrides an
+    /// explicit spec already present for the same family.
     pub fn merge(&mut self, other: FaultPlan) {
         self.links.extend(other.links);
         self.control.extend(other.control);

@@ -221,6 +221,13 @@ impl DumbbellRun {
         self
     }
 
+    /// Allow or forbid the engine's express path (default allowed); see
+    /// [`cebinae_engine::SimConfig::express`].
+    pub fn express(mut self, on: bool) -> DumbbellRun {
+        self.params.express = on;
+        self
+    }
+
     /// Select the event-loop scheduler backend (run-identical either way).
     pub fn scheduler(mut self, sched: SchedulerKind) -> DumbbellRun {
         self.params.scheduler = sched;

@@ -4,7 +4,11 @@
 //! timestamped events with deterministic `(time, sequence)` ordering —
 //! two events scheduled for the same instant fire in insertion order, so
 //! every run is bit-for-bit reproducible regardless of which backend is
-//! driving the loop. The workspace ships two implementations:
+//! driving the loop. Consumers lean on the FIFO tie rule for more than
+//! reproducibility: the engine's per-link in-flight rings pair ring order
+//! with event order through it (a link's `Arrive` instants are
+//! non-decreasing, so FIFO ties keep ring pops and event fires aligned).
+//! The workspace ships two implementations:
 //!
 //! * [`HeapScheduler`](crate::heap::HeapScheduler) — the binary-heap
 //!   reference implementation: O(log n) schedule/pop, lazy-delete
@@ -70,6 +74,13 @@ pub trait Scheduler<E> {
 
     /// Cancel `id` and schedule `event` at `at` in one call — the RTO /
     /// pace-timer pattern. Returns the replacement handle.
+    ///
+    /// A rearm is a cancel **plus** a schedule: the replacement gets a
+    /// fresh sequence number and both the `scheduled_total` and
+    /// `cancelled_total` counters bump. There is no cheaper "move this
+    /// event" operation, by contract — which is why hot paths that want
+    /// fewer scheduler ops must post fewer events, not rearm standing
+    /// ones.
     #[must_use]
     fn rearm(&mut self, id: TimerId, at: Time, event: E) -> TimerId {
         self.cancel(id);

@@ -50,7 +50,7 @@ fn assert_identical(a: &SimResult, b: &SimResult, label: &str) {
 
 #[test]
 fn identical_seeds_give_identical_packet_traces() {
-    // Seeded uniform loss (the migrated `fault_drop` path): the trace
+    // Seeded uniform loss (`FaultPlan::uniform_loss`): the trace
     // must be identical even when the random-drop draws are exercised.
     let plan = FaultPlan::uniform_loss(0.005);
     for discipline in [Discipline::Fifo, Discipline::Cebinae] {

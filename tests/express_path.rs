@@ -1,0 +1,132 @@
+//! Contract of the engine's express path (analytic service of unmanaged
+//! FIFO links, `crates/engine/src/world/express.rs`).
+//!
+//! A run with telemetry enabled pins every link to full event-driven
+//! emulation; a telemetry-off, fault-free run serves unmanaged,
+//! unobserved links in closed form. The contract:
+//!
+//! * **Single-flow runs are bit-exact** across the two modes: with one
+//!   flow there are no cross-flow ties, and the analytic instants
+//!   (`start = max(arrival, free)`, `free += tx_time`,
+//!   `arrive = free + delay`) coincide with the event-driven ones
+//!   nanosecond for nanosecond — so delivered bytes, completion times,
+//!   and per-link stats all agree exactly.
+//! * **Multi-flow runs agree on conserved quantities** (per-link packet
+//!   and byte totals) exactly, and on timing-sensitive outcomes within a
+//!   small tolerance — exact-nanosecond tie interleaving across flows is
+//!   the one documented deviation.
+//! * **Express runs do less scheduler work**: the per-packet event count
+//!   drops well below the full-emulation stream.
+//! * **Express runs stay deterministic and backend-invariant**: heap and
+//!   wheel produce identical results, and repeated runs are identical.
+
+use cebinae_engine::{dumbbell, Discipline, DumbbellFlow, ScenarioParams, SimResult};
+use cebinae_engine::Simulation;
+use cebinae_sim::{Duration, SchedulerKind, Time};
+use cebinae_transport::CcKind;
+
+fn run(flows: &[DumbbellFlow], telemetry: bool, kind: SchedulerKind) -> SimResult {
+    let mut p = ScenarioParams::new(20_000_000, 100, Discipline::FqCoDel);
+    p.duration = Duration::from_secs(3);
+    p.telemetry = telemetry;
+    p.scheduler = kind;
+    let (cfg, _) = dumbbell(flows, &p);
+    Simulation::new(cfg).run()
+}
+
+#[test]
+fn single_flow_express_is_bit_exact() {
+    let flows = vec![DumbbellFlow::new(CcKind::NewReno, 20).with_bytes(2_000_000)];
+    let full = run(&flows, true, SchedulerKind::default());
+    let fast = run(&flows, false, SchedulerKind::default());
+    assert_eq!(full.delivered, fast.delivered);
+    assert_eq!(full.completed_at, fast.completed_at);
+    // Per-link conserved counters agree exactly, whether the link was
+    // event-emulated or served analytically.
+    for (i, (a, b)) in full.link_stats.iter().zip(&fast.link_stats).enumerate() {
+        assert_eq!(a.enq_pkts, b.enq_pkts, "link {i} enq_pkts");
+        assert_eq!(a.tx_pkts, b.tx_pkts, "link {i} tx_pkts");
+        assert_eq!(a.tx_bytes, b.tx_bytes, "link {i} tx_bytes");
+        assert_eq!(a.drop_pkts, b.drop_pkts, "link {i} drop_pkts");
+        assert_eq!(a.peak_queued_bytes, b.peak_queued_bytes, "link {i} peak");
+    }
+    // Goodput series sample the same delivered-byte trajectory.
+    assert_eq!(
+        full.goodputs_bps(Time::from_millis(500)),
+        fast.goodputs_bps(Time::from_millis(500))
+    );
+}
+
+#[test]
+fn multi_flow_express_conserves_packets_and_tracks_goodput() {
+    let flows = vec![
+        DumbbellFlow::new(CcKind::NewReno, 20),
+        DumbbellFlow::new(CcKind::Cubic, 40),
+        DumbbellFlow::new(CcKind::NewReno, 80),
+    ];
+    let full = run(&flows, true, SchedulerKind::default());
+    let fast = run(&flows, false, SchedulerKind::default());
+    // Conserved totals are exact even when tie interleaving differs.
+    let tx = |r: &SimResult| {
+        (
+            r.link_stats.iter().map(|s| s.tx_pkts).sum::<u64>(),
+            r.link_stats.iter().map(|s| s.tx_bytes).sum::<u64>(),
+        )
+    };
+    assert_eq!(tx(&full), tx(&fast));
+    // Timing-sensitive outcomes stay within a few percent.
+    let (a, b): (u64, u64) = (
+        full.delivered.iter().sum(),
+        fast.delivered.iter().sum(),
+    );
+    let ratio = a as f64 / b as f64;
+    assert!(
+        (0.97..=1.03).contains(&ratio),
+        "total delivered diverged: full {a}, express {b}"
+    );
+}
+
+#[test]
+fn express_cuts_events_per_packet() {
+    let flows = vec![
+        DumbbellFlow::new(CcKind::NewReno, 20),
+        DumbbellFlow::new(CcKind::Cubic, 40),
+    ];
+    let full = run(&flows, true, SchedulerKind::default());
+    let fast = run(&flows, false, SchedulerKind::default());
+    let epp = |r: &SimResult| {
+        let tx: u64 = r.link_stats.iter().map(|s| s.tx_pkts).sum();
+        r.events_processed as f64 / tx.max(1) as f64
+    };
+    let (full_epp, fast_epp) = (epp(&full), epp(&fast));
+    assert!(
+        full_epp / fast_epp >= 1.8,
+        "express only cut events/packet from {full_epp:.3} to {fast_epp:.3} (< 1.8x)"
+    );
+}
+
+#[test]
+fn express_runs_are_deterministic_and_backend_invariant() {
+    let flows = vec![
+        DumbbellFlow::new(CcKind::NewReno, 20),
+        DumbbellFlow::new(CcKind::Cubic, 40),
+        DumbbellFlow::new(CcKind::NewReno, 80),
+    ];
+    let wheel = run(&flows, false, SchedulerKind::Wheel);
+    let wheel2 = run(&flows, false, SchedulerKind::Wheel);
+    let heap = run(&flows, false, SchedulerKind::Heap);
+    assert_eq!(wheel.delivered, wheel2.delivered);
+    assert_eq!(wheel.events_processed, wheel2.events_processed);
+    assert_eq!(wheel.delivered, heap.delivered, "wheel vs heap deliveries");
+    assert_eq!(
+        wheel.events_processed, heap.events_processed,
+        "wheel vs heap event counts"
+    );
+    let stats = |r: &SimResult| -> Vec<(u64, u64, u64)> {
+        r.link_stats
+            .iter()
+            .map(|s| (s.tx_pkts, s.drop_pkts, s.peak_queued_bytes))
+            .collect()
+    };
+    assert_eq!(stats(&wheel), stats(&heap));
+}

@@ -3,8 +3,7 @@
 //! Cebinae control plane) must stay correct under adverse conditions.
 //!
 //! The shared mixed-CCA dumbbell lives in [`support`]; faults are
-//! declared as [`FaultPlan`]s (the old `fault_drop` knob survives only as
-//! a deprecated shim, exercised by the engine's own migration test).
+//! declared as [`FaultPlan`]s.
 
 mod support;
 

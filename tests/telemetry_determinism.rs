@@ -80,7 +80,10 @@ fn telemetry_off_yields_none_and_same_metrics() {
         DumbbellFlow::new(CcKind::NewReno, 20),
         DumbbellFlow::new(CcKind::Cubic, 40),
     ];
-    let off = telemetry_run().telemetry(false).seed(3).run(&flows);
+    // `express(false)` pins full event-driven emulation, isolating the
+    // observation cost itself: a telemetry-off run must then be bit-exact
+    // against the telemetry-on one (which always runs full emulation).
+    let off = telemetry_run().telemetry(false).express(false).seed(3).run(&flows);
     let on = telemetry_run().seed(3).run(&flows);
     assert!(off.result.telemetry.is_none());
     assert!(on.result.telemetry.is_some());
@@ -90,4 +93,14 @@ fn telemetry_off_yields_none_and_same_metrics() {
         m.per_flow_bps.iter().map(|b| b.to_bits()).collect()
     };
     assert_eq!(bits(&off), bits(&on), "telemetry changed simulated goodput");
+    // With express allowed (the default), the unobserved run serves the
+    // access links analytically and does strictly less scheduler work;
+    // its behavioral contract is pinned by tests/express_path.rs.
+    let fast = telemetry_run().telemetry(false).seed(3).run(&flows);
+    assert!(
+        fast.result.events_processed < off.result.events_processed,
+        "express run should dispatch fewer events ({} vs {})",
+        fast.result.events_processed,
+        off.result.events_processed
+    );
 }
